@@ -1,0 +1,106 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"collabscope/internal/experiments"
+	"collabscope/internal/metrics"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	f()
+	w.Close()
+	return <-done
+}
+
+func TestTable2Output(t *testing.T) {
+	r := &runner{cfg: experiments.FastConfig()}
+	out := capture(t, r.table2)
+	for _, want := range []string{
+		"OC3                 18         142        79          81",
+		"OC-Oracle          7          43        27          23",
+		"OC-MySQL           8          59        34          33",
+		"OC-HANA            3          40        18          25",
+		"OC3-FO              34         253        79         208",
+		"FormulaOne        16         111         0         127",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	r := &runner{cfg: experiments.FastConfig()}
+	out := capture(t, r.table3)
+	for _, want := range []string{
+		"101         6617    39    31",
+		"56         2537    14    22",
+		"21         1720    10     8",
+		"24         2360    15     1",
+		"389        22379    39    31",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 3 output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Scoping PCA(v=0.50)":       "scoping_pca_v_0_50",
+		"Collaborative Scoping PCA": "collaborative_scoping_pca",
+		"LSH(20)":                   "lsh_20",
+		"":                          "",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	entries := []metrics.SweepEntry{{Param: 0.5}}
+	recs := sweepRecords(entries)
+	if len(recs) != 1 || len(recs[0]) != 5 {
+		t.Fatalf("sweepRecords = %v", recs)
+	}
+	pts := pointRecords([]metrics.Point{{X: 0.25, Y: 0.75}})
+	if len(pts) != 1 || pts[0][0] != "0.25000" || pts[0][1] != "0.75000" {
+		t.Fatalf("pointRecords = %v", pts)
+	}
+}
+
+func TestCSVWriting(t *testing.T) {
+	dir := t.TempDir()
+	r := &runner{cfg: experiments.FastConfig(), csvDir: dir}
+	r.writeCSV("probe.csv", []string{"a", "b"}, [][]string{{"1", "2"}})
+	data, err := os.ReadFile(dir + "/probe.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", data)
+	}
+	// No csvDir: writeCSV is a no-op.
+	noDir := &runner{cfg: experiments.FastConfig()}
+	noDir.writeCSV("nope.csv", []string{"a"}, nil)
+}

@@ -1,0 +1,388 @@
+// Command collabscope runs collaborative scoping and schema matching over
+// schema files (.sql DDL or .json).
+//
+// Usage:
+//
+//	collabscope stats  s1.sql s2.sql ...
+//	collabscope scope  -v 0.8 [-out dir] s1.sql s2.json ...
+//	collabscope scope  -method global -detector pca:0.5 -p 0.7 s1.sql s2.sql
+//	collabscope match  -matcher lsh:5 [-scope 0.8] s1.sql s2.sql ...
+//	collabscope eval   -truth links.json -matcher sim:0.6 -v 0.8 s1.sql s2.sql
+//
+// Schema files ending in .sql are parsed as CREATE TABLE DDL (the schema is
+// named after the file); .json files use the schema JSON format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"collabscope"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "stats":
+		runStats(args)
+	case "scope":
+		runScope(args)
+	case "match":
+		runMatch(args)
+	case "eval":
+		runEval(args)
+	case "train":
+		runTrain(args)
+	case "assess":
+		runAssess(args)
+	case "integrate":
+		runIntegrate(args)
+	case "suggest":
+		runSuggest(args)
+	default:
+		usage()
+	}
+}
+
+// runSuggest proposes an explained-variance setting label-free.
+func runSuggest(args []string) {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	fs.Parse(args)
+
+	schemas := loadSchemas(fs.Args())
+	pipe := newPipeline(*dim)
+	v, err := pipe.SuggestVariance(schemas, nil)
+	fatal(err)
+	res, err := pipe.CollaborativeScope(schemas, v)
+	fatal(err)
+	fmt.Printf("suggested explained variance v=%.2f (keeps %d of %d elements)\n",
+		v, res.Kept, res.Kept+res.Pruned)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: collabscope <stats|scope|match|eval|train|assess|integrate|suggest> [flags] schema files...")
+	os.Exit(2)
+}
+
+// runIntegrate scopes, matches, clusters the linkages, and emits a mediated
+// schema with UNION ALL view skeletons.
+func runIntegrate(args []string) {
+	fs := flag.NewFlagSet("integrate", flag.ExitOnError)
+	matcher := fs.String("matcher", "sim:0.6", "matcher: sim:T, cluster:K, lsh:K, coma:T, flood:T, name:T")
+	scopeV := fs.Float64("scope", 0.5, "collaborative scoping variance (0 = integrate originals)")
+	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	fs.Parse(args)
+
+	schemas := loadSchemas(fs.Args())
+	pipe := newPipeline(*dim)
+	target := schemas
+	if *scopeV > 0 {
+		res, err := pipe.CollaborativeScope(schemas, *scopeV)
+		fatal(err)
+		target = res.Streamlined
+		fmt.Printf("scoped at v=%.2f: kept %d, pruned %d\n", *scopeV, res.Kept, res.Pruned)
+	}
+	pairs := pipe.Match(parseMatcher(*matcher), target)
+	fmt.Printf("%d linkage candidates\n\n", len(pairs))
+
+	med := collabscope.BuildMediated(schemas, pairs)
+	for _, mt := range med.Tables {
+		fmt.Println(collabscope.UnionView(mt))
+		fmt.Println()
+	}
+}
+
+// runTrain implements the distributed workflow's producer side: train the
+// local model (Algorithm 1) and write it to a file for exchange.
+func runTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	v := fs.Float64("v", 0.8, "global explained variance")
+	out := fs.String("out", "", "model output file (default <schema>.model.json)")
+	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	fs.Parse(args)
+
+	schemas := loadSchemas(fs.Args())
+	if len(schemas) != 1 {
+		fatalf("train expects exactly one schema file")
+	}
+	pipe := newPipeline(*dim)
+	model, err := pipe.TrainModel(schemas[0], *v)
+	fatal(err)
+
+	path := *out
+	if path == "" {
+		path = schemas[0].Name + ".model.json"
+	}
+	fh, err := os.Create(path)
+	fatal(err)
+	fatal(model.WriteJSON(fh))
+	fatal(fh.Close())
+	fmt.Printf("trained %s: %d components at v=%.2f, linkability range %.4g -> %s\n",
+		schemas[0].Name, model.Components(), *v, model.Range, path)
+}
+
+// runAssess implements the consumer side: assess the local schema against
+// exchanged foreign models (Algorithm 2) and report/stream the verdicts.
+func runAssess(args []string) {
+	fs := flag.NewFlagSet("assess", flag.ExitOnError)
+	modelsArg := fs.String("models", "", "comma-separated foreign model files (required)")
+	out := fs.String("out", "", "write the streamlined schema as JSON to this file")
+	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	fs.Parse(args)
+	if *modelsArg == "" {
+		fatalf("-models is required")
+	}
+
+	schemas := loadSchemas(fs.Args())
+	if len(schemas) != 1 {
+		fatalf("assess expects exactly one schema file")
+	}
+	var models []*collabscope.Model
+	for _, path := range strings.Split(*modelsArg, ",") {
+		fh, err := os.Open(strings.TrimSpace(path))
+		fatal(err)
+		m, err := collabscope.ReadModelJSON(fh)
+		fatal(err)
+		fatal(fh.Close())
+		models = append(models, m)
+	}
+
+	pipe := newPipeline(*dim)
+	verdicts := pipe.Assess(schemas[0], models)
+	streamlined := schemas[0].Subset(verdicts)
+	fmt.Printf("%s: %d -> %d elements\n", schemas[0].Name,
+		schemas[0].NumElements(), streamlined.NumElements())
+	for _, id := range schemas[0].ElementIDs() {
+		if !verdicts[id] {
+			fmt.Printf("  pruned %s\n", id)
+		}
+	}
+	if *out != "" {
+		fh, err := os.Create(*out)
+		fatal(err)
+		fatal(streamlined.WriteJSON(fh))
+		fatal(fh.Close())
+		fmt.Printf("streamlined schema written to %s\n", *out)
+	}
+}
+
+func loadSchemas(paths []string) []*collabscope.Schema {
+	if len(paths) == 0 {
+		fatalf("no schema files given")
+	}
+	var out []*collabscope.Schema
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		fatal(err)
+		base := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		var s *collabscope.Schema
+		switch strings.ToLower(filepath.Ext(p)) {
+		case ".json":
+			s, err = collabscope.ReadSchemaJSON(strings.NewReader(string(data)))
+		default:
+			s, err = collabscope.ParseDDL(base, string(data))
+		}
+		fatal(err)
+		out = append(out, s)
+	}
+	return out
+}
+
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(args)
+	schemas := loadSchemas(fs.Args())
+	fmt.Printf("%-20s %7s %11s %9s\n", "Schema", "Tables", "Attributes", "Elements")
+	for _, s := range schemas {
+		fmt.Printf("%-20s %7d %11d %9d\n", s.Name, s.NumTables(), s.NumAttributes(), s.NumElements())
+	}
+}
+
+func runScope(args []string) {
+	fs := flag.NewFlagSet("scope", flag.ExitOnError)
+	v := fs.Float64("v", 0.8, "global explained variance for collaborative scoping")
+	method := fs.String("method", "collaborative", "scoping method: collaborative or global")
+	detector := fs.String("detector", "pca:0.5", "global scoping detector: zscore, lof:N, pca:V, autoencoder")
+	p := fs.Float64("p", 0.7, "global scoping keep fraction")
+	out := fs.String("out", "", "write streamlined schemas as JSON into this directory")
+	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	fs.Parse(args)
+
+	schemas := loadSchemas(fs.Args())
+	pipe := newPipeline(*dim)
+
+	var res *collabscope.ScopeResult
+	var err error
+	switch *method {
+	case "collaborative":
+		res, err = pipe.CollaborativeScope(schemas, *v)
+	case "global":
+		res, err = pipe.GlobalScope(schemas, parseDetector(*detector), *p)
+	default:
+		fatalf("unknown method %q", *method)
+	}
+	fatal(err)
+
+	fmt.Printf("kept %d elements, pruned %d\n", res.Kept, res.Pruned)
+	for i, s := range schemas {
+		st := res.Streamlined[i]
+		fmt.Printf("%-20s %3d -> %3d elements\n", s.Name, s.NumElements(), st.NumElements())
+		for _, id := range s.ElementIDs() {
+			if !res.Keep[id] {
+				fmt.Printf("  pruned %s\n", id)
+			}
+		}
+	}
+	if *out != "" {
+		fatal(os.MkdirAll(*out, 0o755))
+		for _, s := range res.Streamlined {
+			fh, err := os.Create(filepath.Join(*out, s.Name+".json"))
+			fatal(err)
+			fatal(s.WriteJSON(fh))
+			fatal(fh.Close())
+		}
+		fmt.Printf("streamlined schemas written to %s\n", *out)
+	}
+}
+
+func runMatch(args []string) {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	matcher := fs.String("matcher", "lsh:5", "matcher: sim:T, cluster:K, lsh:K")
+	scopeV := fs.Float64("scope", 0, "collaboratively scope at this variance before matching (0 = off)")
+	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	fs.Parse(args)
+
+	schemas := loadSchemas(fs.Args())
+	pipe := newPipeline(*dim)
+	target := schemas
+	if *scopeV > 0 {
+		res, err := pipe.CollaborativeScope(schemas, *scopeV)
+		fatal(err)
+		target = res.Streamlined
+		fmt.Printf("scoped at v=%.2f: kept %d, pruned %d\n", *scopeV, res.Kept, res.Pruned)
+	}
+	pairs := pipe.Match(parseMatcher(*matcher), target)
+	for _, pr := range pairs {
+		fmt.Printf("%s ~ %s\n", pr.A, pr.B)
+	}
+	fmt.Printf("%d candidate linkages\n", len(pairs))
+}
+
+func runEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	truthPath := fs.String("truth", "", "ground-truth linkages JSON file (required)")
+	matcher := fs.String("matcher", "lsh:5", "matcher: sim:T, cluster:K, lsh:K")
+	scopeV := fs.Float64("v", 0.8, "collaborative scoping variance (0 = match originals)")
+	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	fs.Parse(args)
+	if *truthPath == "" {
+		fatalf("-truth is required")
+	}
+
+	schemas := loadSchemas(fs.Args())
+	data, err := os.ReadFile(*truthPath)
+	fatal(err)
+	truth, err := readTruth(string(data))
+	fatal(err)
+
+	pipe := newPipeline(*dim)
+	m := parseMatcher(*matcher)
+
+	sota := collabscope.EvaluateMatch(pipe.Match(m, schemas), truth, schemas)
+	fmt.Printf("original   : PQ=%.3f PC=%.3f F1=%.3f RR=%.3f (%d pairs)\n",
+		sota.PQ, sota.PC, sota.F1, sota.RR, sota.Generated)
+	if *scopeV > 0 {
+		res, err := pipe.CollaborativeScope(schemas, *scopeV)
+		fatal(err)
+		scoped := collabscope.EvaluateMatch(pipe.Match(m, res.Streamlined), truth, schemas)
+		fmt.Printf("scoped v=%.2f: PQ=%.3f PC=%.3f F1=%.3f RR=%.3f (%d pairs)\n",
+			*scopeV, scoped.PQ, scoped.PC, scoped.F1, scoped.RR, scoped.Generated)
+	}
+}
+
+func newPipeline(dim int) *collabscope.Pipeline {
+	if dim > 0 {
+		return collabscope.New(collabscope.WithDimension(dim))
+	}
+	return collabscope.New()
+}
+
+func parseDetector(spec string) collabscope.Detector {
+	name, param := splitSpec(spec)
+	switch name {
+	case "zscore":
+		return collabscope.NewZScoreDetector()
+	case "lof":
+		n := int(paramOr(param, 20))
+		return collabscope.NewLOFDetector(n)
+	case "pca":
+		return collabscope.NewPCADetector(paramOr(param, 0.5))
+	case "autoencoder", "ae":
+		return collabscope.NewAutoencoderDetector(5, 30, 1)
+	default:
+		fatalf("unknown detector %q", spec)
+		return nil
+	}
+}
+
+func parseMatcher(spec string) collabscope.Matcher {
+	name, param := splitSpec(spec)
+	switch name {
+	case "sim":
+		return collabscope.NewSimMatcher(paramOr(param, 0.6))
+	case "cluster":
+		return collabscope.NewClusterMatcher(int(paramOr(param, 5)), 1)
+	case "lsh":
+		return collabscope.NewLSHMatcher(int(paramOr(param, 5)))
+	case "lsh-approx":
+		return collabscope.NewApproxLSHMatcher(int(paramOr(param, 5)), 1)
+	case "coma":
+		return collabscope.NewCompositeMatcher(paramOr(param, 0.6))
+	case "flood":
+		return collabscope.NewFloodingMatcher(paramOr(param, 0.8))
+	case "name":
+		return collabscope.NewNameMatcher(paramOr(param, 0.7))
+	default:
+		fatalf("unknown matcher %q", spec)
+		return nil
+	}
+}
+
+func splitSpec(spec string) (name, param string) {
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		return spec[:i], spec[i+1:]
+	}
+	return spec, ""
+}
+
+func paramOr(param string, def float64) float64 {
+	if param == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(param, 64)
+	fatal(err)
+	return v
+}
+
+func readTruth(data string) (*collabscope.GroundTruth, error) {
+	return collabscope.ReadGroundTruthJSON(strings.NewReader(data))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "collabscope: "+format+"\n", args...)
+	os.Exit(1)
+}

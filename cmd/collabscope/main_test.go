@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSplitSpec(t *testing.T) {
+	cases := []struct {
+		in, name, param string
+	}{
+		{"sim:0.6", "sim", "0.6"},
+		{"lsh", "lsh", ""},
+		{"cluster:20", "cluster", "20"},
+		{"a:b:c", "a", "b:c"},
+	}
+	for _, c := range cases {
+		name, param := splitSpec(c.in)
+		if name != c.name || param != c.param {
+			t.Errorf("splitSpec(%q) = %q, %q", c.in, name, param)
+		}
+	}
+}
+
+func TestParamOr(t *testing.T) {
+	if paramOr("", 0.5) != 0.5 {
+		t.Fatal("default not used")
+	}
+	if paramOr("0.8", 0.5) != 0.8 {
+		t.Fatal("parse failed")
+	}
+}
+
+func TestParseDetectorSpecs(t *testing.T) {
+	cases := map[string]string{
+		"zscore":      "Z-Score",
+		"lof":         "LOF(n=20)",
+		"lof:5":       "LOF(n=5)",
+		"pca":         "PCA(v=0.50)",
+		"pca:0.7":     "PCA(v=0.70)",
+		"autoencoder": "Autoencoder",
+		"ae":          "Autoencoder",
+	}
+	for spec, want := range cases {
+		if got := parseDetector(spec).Name(); got != want {
+			t.Errorf("parseDetector(%q) = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestParseMatcherSpecs(t *testing.T) {
+	cases := map[string]string{
+		"sim:0.4":      "SIM(0.4)",
+		"cluster:20":   "CLUSTER(20)",
+		"lsh:1":        "LSH(1)",
+		"lsh-approx:3": "LSH*(3)",
+		"coma:0.5":     "COMA(0.5)",
+		"flood:0.8":    "FLOOD(0.8)",
+		"name:0.7":     "NAME(0.7)",
+		"sim":          "SIM(0.6)",
+	}
+	for spec, want := range cases {
+		if got := parseMatcher(spec).Name(); got != want {
+			t.Errorf("parseMatcher(%q) = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestLoadSchemas(t *testing.T) {
+	dir := t.TempDir()
+	sqlPath := filepath.Join(dir, "crm.sql")
+	if err := os.WriteFile(sqlPath, []byte("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10));"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "shop.json")
+	js := `{"name":"shop","tables":[{"name":"u","attributes":[{"name":"x","type":"TEXT"}]}]}`
+	if err := os.WriteFile(jsonPath, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schemas := loadSchemas([]string{sqlPath, jsonPath})
+	if len(schemas) != 2 {
+		t.Fatalf("loaded %d schemas", len(schemas))
+	}
+	// DDL schema is named after the file; JSON keeps its embedded name.
+	if schemas[0].Name != "crm" || schemas[1].Name != "shop" {
+		t.Fatalf("names = %q, %q", schemas[0].Name, schemas[1].Name)
+	}
+	if schemas[0].NumAttributes() != 2 || schemas[1].NumAttributes() != 1 {
+		t.Fatalf("attribute counts wrong")
+	}
+}
+
+func TestNewPipelineDims(t *testing.T) {
+	if newPipeline(0).Encoder().Dim() != 768 {
+		t.Fatal("default dim should be 768")
+	}
+	if newPipeline(128).Encoder().Dim() != 128 {
+		t.Fatal("dim override failed")
+	}
+}

@@ -1,0 +1,359 @@
+package collabscope
+
+import (
+	"fmt"
+	"io"
+
+	"collabscope/internal/core"
+	"collabscope/internal/datasets"
+	"collabscope/internal/embed"
+	"collabscope/internal/integrate"
+	"collabscope/internal/match"
+	"collabscope/internal/outlier"
+	"collabscope/internal/schema"
+	"collabscope/internal/scoping"
+)
+
+// Re-exported schema model types. The schema package is internal; these
+// aliases form the public surface.
+type (
+	// Schema is a named set of tables.
+	Schema = schema.Schema
+	// Table is a named set of attributes.
+	Table = schema.Table
+	// Attribute is a column described by metadata only.
+	Attribute = schema.Attribute
+	// ElementID identifies a table or attribute across schemas.
+	ElementID = schema.ElementID
+	// Linkage is an annotated semantic congruence between two elements.
+	Linkage = schema.Linkage
+	// GroundTruth is an annotated linkage set L(S).
+	GroundTruth = schema.GroundTruth
+	// SignatureSet couples element identifiers with signature vectors.
+	SignatureSet = embed.SignatureSet
+	// Encoder transforms element text into fixed-size signatures.
+	Encoder = embed.Encoder
+	// Detector is an outlier detection algorithm for global scoping.
+	Detector = outlier.Detector
+	// Matcher generates linkage candidates between two schemas.
+	Matcher = match.Matcher
+	// Pair is a generated linkage candidate.
+	Pair = match.Pair
+	// MatchEval holds PQ / PC / F1 / RR match quality.
+	MatchEval = match.Eval
+	// Model is a local collaborative-scoping encoder-decoder.
+	Model = core.Model
+	// Dataset is a named matching scenario with ground truth.
+	Dataset = datasets.Dataset
+)
+
+// Data type and constraint constants of the schema model.
+const (
+	TypeText      = schema.TypeText
+	TypeNumber    = schema.TypeNumber
+	TypeDecimal   = schema.TypeDecimal
+	TypeDate      = schema.TypeDate
+	TypeTimestamp = schema.TypeTimestamp
+	TypeBoolean   = schema.TypeBoolean
+	TypeBinary    = schema.TypeBinary
+	TypeUnknown   = schema.TypeUnknown
+
+	PrimaryKey   = schema.PrimaryKey
+	ForeignKey   = schema.ForeignKey
+	NoConstraint = schema.NoConstraint
+
+	InterIdentical = schema.InterIdentical
+	InterSubTyped  = schema.InterSubTyped
+)
+
+// TableID returns the element identifier of a table.
+func TableID(schemaName, table string) ElementID { return schema.TableID(schemaName, table) }
+
+// AttributeID returns the element identifier of an attribute.
+func AttributeID(schemaName, table, attr string) ElementID {
+	return schema.AttributeID(schemaName, table, attr)
+}
+
+// NewGroundTruth returns an empty annotated linkage set.
+func NewGroundTruth() *GroundTruth { return schema.NewGroundTruth() }
+
+// ParseDDL parses CREATE TABLE statements into a schema.
+func ParseDDL(name, ddl string) (*Schema, error) { return schema.ParseDDL(name, ddl) }
+
+// ReadSchemaJSON decodes and validates a schema from JSON.
+func ReadSchemaJSON(r io.Reader) (*Schema, error) { return schema.ReadJSON(r) }
+
+// ReadGroundTruthJSON decodes an annotated linkage set from JSON.
+func ReadGroundTruthJSON(r io.Reader) (*GroundTruth, error) {
+	return schema.ReadGroundTruthJSON(r)
+}
+
+// ReadModelJSON deserialises a local model exchanged by another schema.
+// Models serialise with (*Model).WriteJSON; only the mean, principal
+// components, and linkability range travel — never schema elements.
+func ReadModelJSON(r io.Reader) (*Model, error) { return core.ReadModelJSON(r) }
+
+// Pipeline bundles the encoder shared by all schemas — the globally agreed
+// language model E of collaborative scoping phase (I).
+type Pipeline struct {
+	enc embed.Encoder
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithEncoder replaces the default deterministic hash encoder.
+func WithEncoder(e Encoder) Option {
+	return func(p *Pipeline) { p.enc = e }
+}
+
+// WithDimension sets the signature dimensionality of the default encoder
+// (768, the Sentence-BERT size of the paper, if unset).
+func WithDimension(dim int) Option {
+	return func(p *Pipeline) { p.enc = embed.NewHashEncoder(embed.WithDim(dim)) }
+}
+
+// New returns a pipeline with the default 768-dimensional encoder.
+func New(opts ...Option) *Pipeline {
+	p := &Pipeline{enc: embed.NewHashEncoder()}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Encoder returns the pipeline's signature encoder.
+func (p *Pipeline) Encoder() Encoder { return p.enc }
+
+// Encode serialises and encodes every element of a schema.
+func (p *Pipeline) Encode(s *Schema) *SignatureSet { return embed.EncodeSchema(p.enc, s) }
+
+// EncodeAll encodes each schema independently with the shared encoder.
+func (p *Pipeline) EncodeAll(schemas []*Schema) []*SignatureSet {
+	return embed.EncodeSchemas(p.enc, schemas)
+}
+
+// ScopeResult is the outcome of a scoping run.
+type ScopeResult struct {
+	// Keep maps every element to its linkability verdict.
+	Keep map[ElementID]bool
+	// Streamlined holds the pruned schemas S′, aligned with the input.
+	Streamlined []*Schema
+	// Kept and Pruned count the verdicts.
+	Kept, Pruned int
+}
+
+func newScopeResult(schemas []*Schema, keep map[ElementID]bool) *ScopeResult {
+	res := &ScopeResult{Keep: keep}
+	for _, s := range schemas {
+		res.Streamlined = append(res.Streamlined, s.Subset(keep))
+	}
+	for _, ok := range keep {
+		if ok {
+			res.Kept++
+		} else {
+			res.Pruned++
+		}
+	}
+	return res
+}
+
+// CollaborativeScope runs the paper's contribution end-to-end: local
+// signatures, local self-supervised models at the global explained variance
+// v ∈ (0, 1], and the distributed linkability assessment. It returns the
+// linkability verdicts and the streamlined schemas.
+func (p *Pipeline) CollaborativeScope(schemas []*Schema, v float64) (*ScopeResult, error) {
+	scoper, err := core.NewScoper(p.EncodeAll(schemas))
+	if err != nil {
+		return nil, err
+	}
+	keep, err := scoper.Scope(v)
+	if err != nil {
+		return nil, err
+	}
+	return newScopeResult(schemas, keep), nil
+}
+
+// SuggestVariance proposes an explained-variance setting label-free, by
+// locating the saturation cliff of the kept-count curve over the grid (an
+// extension; the paper leaves the ideal v scenario-dependent). A nil grid
+// uses 1.0 … 0.01 in 0.05 steps.
+func (p *Pipeline) SuggestVariance(schemas []*Schema, grid []float64) (float64, error) {
+	scoper, err := core.NewScoper(p.EncodeAll(schemas))
+	if err != nil {
+		return 0, err
+	}
+	if grid == nil {
+		for v := 1.0; v > 0.02; v -= 0.05 {
+			grid = append(grid, v)
+		}
+		grid = append(grid, 0.01)
+	}
+	return scoper.SuggestVariance(grid)
+}
+
+// TrainModel runs Algorithm 1 for a single schema, returning the local
+// model that can be exchanged with other parties.
+func (p *Pipeline) TrainModel(s *Schema, v float64) (*Model, error) {
+	return core.Train(p.Encode(s), v)
+}
+
+// Assess runs Algorithm 2 for a single schema against foreign models,
+// returning the linkability verdict for each local element.
+func (p *Pipeline) Assess(s *Schema, foreign []*Model) map[ElementID]bool {
+	return core.Assess(p.Encode(s), foreign)
+}
+
+// GlobalScope runs the prior-work scoping baseline: rank the unified
+// signature set with the detector and keep the fraction keep ∈ [0, 1] with
+// the lowest outlier scores.
+func (p *Pipeline) GlobalScope(schemas []*Schema, det Detector, keep float64) (*ScopeResult, error) {
+	if det == nil {
+		return nil, fmt.Errorf("collabscope: nil detector")
+	}
+	union := embed.Union(p.EncodeAll(schemas))
+	if union.Len() == 0 {
+		return nil, fmt.Errorf("collabscope: no schema elements to scope")
+	}
+	ranking := scoping.Rank(det, union)
+	return newScopeResult(schemas, completeKeep(union, ranking.Scope(keep))), nil
+}
+
+// completeKeep turns a kept-only set into a full verdict map over all
+// elements.
+func completeKeep(union *SignatureSet, kept map[ElementID]bool) map[ElementID]bool {
+	out := make(map[ElementID]bool, union.Len())
+	for _, id := range union.IDs {
+		out[id] = kept[id]
+	}
+	return out
+}
+
+// Detector constructors for global scoping.
+
+// NewZScoreDetector returns the Z-score baseline.
+func NewZScoreDetector() Detector { return outlier.ZScore{} }
+
+// NewLOFDetector returns the Local-Outlier-Factor baseline with n
+// neighbours (20 if n ≤ 0, the scikit-learn default used in the paper).
+func NewLOFDetector(n int) Detector { return outlier.LOF{Neighbors: n} }
+
+// NewPCADetector returns the PCA-reconstruction baseline at the given
+// explained variance.
+func NewPCADetector(variance float64) Detector { return outlier.PCA{Variance: variance} }
+
+// NewAutoencoderDetector returns the neural autoencoder baseline with an
+// ensemble of the given size training for the given epochs.
+func NewAutoencoderDetector(models, epochs int, seed int64) Detector {
+	return outlier.Autoencoder{Models: models, Epochs: epochs, Seed: seed}
+}
+
+// NewKNNDetector returns the k-NN mean-distance detector (extension beyond
+// the paper's baselines).
+func NewKNNDetector(k int) Detector { return outlier.KNNDistance{K: k} }
+
+// NewMahalanobisDetector returns the shrinkage-regularised Mahalanobis
+// detector (extension).
+func NewMahalanobisDetector() Detector { return outlier.Mahalanobis{} }
+
+// NewIsolationForestDetector returns an Isolation Forest (Liu et al. 2008)
+// detector (extension).
+func NewIsolationForestDetector(trees int, seed int64) Detector {
+	return outlier.IsolationForest{Trees: trees, Seed: seed}
+}
+
+// Matcher constructors for the ablation matchers.
+
+// NewSimMatcher returns the cosine-threshold SIM matcher.
+func NewSimMatcher(threshold float64) Matcher { return match.Sim{Threshold: threshold} }
+
+// NewClusterMatcher returns the k-means co-membership CLUSTER matcher.
+func NewClusterMatcher(k int, seed int64) Matcher { return match.Cluster{K: k, Seed: seed} }
+
+// NewLSHMatcher returns the exact top-k nearest-neighbour matcher (the
+// paper's LSH, FAISS-IndexFlatL2 style).
+func NewLSHMatcher(k int) Matcher { return match.LSH{K: k} }
+
+// NewApproxLSHMatcher returns the genuine random-hyperplane LSH matcher.
+func NewApproxLSHMatcher(k int, seed int64) Matcher {
+	return match.LSH{K: k, Approximate: true, Seed: seed}
+}
+
+// NewNameMatcher returns a purely lexical matcher (max of normalised
+// Levenshtein and token-trigram Jaccard) — the string-similarity baseline
+// whose labeling conflicts the paper discusses in §2.2.
+func NewNameMatcher(threshold float64) Matcher { return match.NameMatcher{Threshold: threshold} }
+
+// NewFloodingMatcher returns a Similarity Flooding matcher (Melnik et al.,
+// ICDE 2002) with relative selection at the given threshold.
+func NewFloodingMatcher(threshold float64) Matcher { return match.Flooding{Threshold: threshold} }
+
+// NewCompositeMatcher returns a COMA-style aggregate matcher combining
+// lexical name similarity with semantic signature similarity.
+func NewCompositeMatcher(threshold float64) Matcher { return match.Composite{Threshold: threshold} }
+
+// NewHACMatcher returns a hierarchical-agglomerative-clustering matcher
+// (average linkage) with the given merge-distance cutoff — the multi-source
+// strategy of Saeedi et al. cited in the paper; it needs no cardinality.
+func NewHACMatcher(cutoff float64) Matcher { return match.HACMatcher{Cutoff: cutoff} }
+
+// Match runs a matcher over every pair of schemas and returns the
+// deduplicated union of linkage candidates.
+func (p *Pipeline) Match(m Matcher, schemas []*Schema) []Pair {
+	return match.MatchAll(m, p.EncodeAll(schemas))
+}
+
+// MatchHolistic clusters the union of ALL schemas once per element kind
+// (He & Chang's holistic strategy) and links cross-schema co-members — one
+// k-means run instead of one per schema pair.
+func (p *Pipeline) MatchHolistic(k int, seed int64, schemas []*Schema) []Pair {
+	return match.Holistic(k, seed, p.EncodeAll(schemas))
+}
+
+// MatchHolisticAuto is MatchHolistic with the cardinality self-tuned by the
+// silhouette coefficient over candidate k values (the ALITE approach).
+func (p *Pipeline) MatchHolisticAuto(candidates []int, seed int64, schemas []*Schema) []Pair {
+	return match.HolisticAuto(candidates, seed, p.EncodeAll(schemas))
+}
+
+// EvaluateMatch scores generated pairs against ground truth; the Reduction
+// Ratio denominator is the same-kind Cartesian product of the ORIGINAL
+// schemas.
+func EvaluateMatch(pairs []Pair, truth *GroundTruth, original []*Schema) MatchEval {
+	return match.Evaluate(pairs, truth, match.Cartesian(original))
+}
+
+// Integration (downstream of matching): mediated schemas and SQL views.
+
+type (
+	// Mediated is a global schema derived from linkage clusters.
+	Mediated = integrate.Mediated
+	// MediatedTable is one global table of a mediated schema.
+	MediatedTable = integrate.MediatedTable
+)
+
+// BuildMediated clusters linkage pairs into connected components and
+// derives a mediated global schema over the source schemas.
+func BuildMediated(schemas []*Schema, pairs []Pair) *Mediated {
+	return integrate.Build(schemas, pairs)
+}
+
+// UnionView renders a SQL view skeleton (UNION ALL over renamed
+// projections) materialising one mediated table.
+func UnionView(mt MediatedTable) string { return integrate.UnionView(mt) }
+
+// Bundled datasets of the paper's evaluation.
+
+// DatasetOC3 returns the domain-specific Order-Customer scenario (Table 2).
+func DatasetOC3() *Dataset { return datasets.OC3() }
+
+// DatasetOC3FO returns the heterogeneous scenario with the Formula One
+// schema added (Table 2).
+func DatasetOC3FO() *Dataset { return datasets.OC3FO() }
+
+// DatasetFigure1 returns the four-schema toy scenario of Figure 1.
+func DatasetFigure1() *Dataset { return datasets.Figure1() }
+
+// DatasetSourceToTarget returns the two-schema Oracle→MySQL scenario
+// (source-to-target matching, the paper's closing applicability claim).
+func DatasetSourceToTarget() *Dataset { return datasets.SourceToTarget() }

@@ -1,0 +1,64 @@
+// Package er is the public surface of the entity-resolution adaptation of
+// collaborative scoping (the paper's §5 future-work direction): multiple
+// record sources train local encoder-decoder models over record signatures
+// and prune records that no other source recognises, shrinking the blocking
+// candidate space ahead of entity matching.
+//
+//	enc := collabscope.New(collabscope.WithDimension(384)).Encoder()
+//	keep, _ := er.Scope(enc, sources, 0.3)
+//	cands, _ := er.BlockTopK(enc, sources, keep, 3)
+//
+// Record signatures are dominated by per-record values rather than shared
+// metadata, so useful variance targets sit lower (v ≈ 0.2-0.4) than for
+// schema scoping.
+package er
+
+import (
+	"collabscope"
+	ier "collabscope/internal/er"
+)
+
+// Re-exported entity-resolution types.
+type (
+	// Record is one entity description from one source.
+	Record = ier.Record
+	// Source is a named set of records.
+	Source = ier.Source
+	// CandidatePair is a blocking candidate between two records.
+	CandidatePair = ier.CandidatePair
+	// Truth is the set of true duplicate pairs.
+	Truth = ier.Truth
+	// Eval holds blocking quality (PQ, PC, candidate counts).
+	Eval = ier.Eval
+	// GenConfig controls the synthetic scenario generator.
+	GenConfig = ier.GenConfig
+)
+
+// NewTruth returns an empty duplicate-pair set.
+func NewTruth() *Truth { return ier.NewTruth() }
+
+// Scope runs collaborative scoping over record sources at explained
+// variance v: a record is kept iff some other source's model reconstructs
+// it within that model's linkability range.
+func Scope(enc collabscope.Encoder, sources []Source, v float64) (map[collabscope.ElementID]bool, error) {
+	return ier.Scope(enc, sources, v)
+}
+
+// BlockTopK generates candidate pairs by exact top-k nearest-neighbour
+// search of every kept record against every other source's kept records.
+// keep may be nil to block all records.
+func BlockTopK(enc collabscope.Encoder, sources []Source, keep map[collabscope.ElementID]bool, k int) ([]CandidatePair, error) {
+	return ier.BlockTopK(enc, sources, keep, k)
+}
+
+// Evaluate scores candidate pairs against the truth.
+func Evaluate(cands []CandidatePair, truth *Truth) Eval {
+	return ier.Evaluate(cands, truth)
+}
+
+// GenerateSources builds a deterministic synthetic two-source scenario with
+// known duplicates, source-exclusive noise records, and optionally records
+// of an unrelated entity type.
+func GenerateSources(cfg GenConfig) (a, b Source, truth *Truth, err error) {
+	return ier.GenerateSources(cfg)
+}

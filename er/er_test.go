@@ -1,0 +1,48 @@
+package er_test
+
+import (
+	"testing"
+
+	"collabscope"
+	"collabscope/er"
+)
+
+func TestPublicERWorkflow(t *testing.T) {
+	a, b, truth, err := er.GenerateSources(er.GenConfig{
+		Shared: 15, NoiseA: 5, NoiseB: 5, UnrelatedB: 8, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := collabscope.New(collabscope.WithDimension(256)).Encoder()
+	sources := []er.Source{a, b}
+
+	keep, err := er.Scope(enc, sources, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != len(a.Records)+len(b.Records) {
+		t.Fatalf("verdicts cover %d records", len(keep))
+	}
+	cands, err := er.BlockTopK(enc, sources, keep, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := er.Evaluate(cands, truth)
+	if eval.Candidates == 0 || eval.PC == 0 {
+		t.Fatalf("eval = %+v", eval)
+	}
+}
+
+func TestPublicTruth(t *testing.T) {
+	truth := er.NewTruth()
+	x := collabscope.AttributeID("A", "person", "1")
+	y := collabscope.AttributeID("B", "person", "2")
+	truth.Add(x, y)
+	if truth.Len() != 1 {
+		t.Fatal("truth add failed")
+	}
+	if !truth.Contains(er.CandidatePair{A: y, B: x}) {
+		t.Fatal("symmetric lookup failed")
+	}
+}

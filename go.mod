@@ -1,0 +1,3 @@
+module collabscope
+
+go 1.24

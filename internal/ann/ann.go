@@ -1,0 +1,194 @@
+// Package ann provides nearest-neighbour indexes over signature vectors:
+// an exact flat L2 index (the behaviour of FAISS IndexFlatL2, which the
+// paper's "LSH" matcher actually uses) and a genuine random-hyperplane
+// locality-sensitive-hashing index offered as the approximate variant.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"collabscope/internal/linalg"
+)
+
+// Neighbor is one search hit.
+type Neighbor struct {
+	// Index is the row index of the hit in the indexed matrix.
+	Index int
+	// Distance is the squared L2 distance to the query.
+	Distance float64
+}
+
+// Index answers top-k nearest-neighbour queries.
+type Index interface {
+	// Search returns up to k nearest neighbours of the query, nearest
+	// first.
+	Search(query []float64, k int) []Neighbor
+	// Len returns the number of indexed vectors.
+	Len() int
+}
+
+// FlatIndex is an exact L2 index — a brute-force scan, like FAISS
+// IndexFlatL2.
+type FlatIndex struct {
+	data *linalg.Dense
+}
+
+// NewFlatIndex indexes the rows of x. The matrix is referenced, not copied.
+func NewFlatIndex(x *linalg.Dense) *FlatIndex {
+	return &FlatIndex{data: x}
+}
+
+// Len implements Index.
+func (f *FlatIndex) Len() int { return f.data.Rows() }
+
+// Search implements Index.
+func (f *FlatIndex) Search(query []float64, k int) []Neighbor {
+	n := f.data.Rows()
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	hits := make([]Neighbor, n)
+	for i := 0; i < n; i++ {
+		hits[i] = Neighbor{Index: i, Distance: linalg.SquaredDistance(query, f.data.RowView(i))}
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Distance < hits[b].Distance })
+	if k > n {
+		k = n
+	}
+	return hits[:k]
+}
+
+// LSHConfig configures the random-hyperplane LSH index.
+type LSHConfig struct {
+	// Tables is the number of hash tables; 8 if zero.
+	Tables int
+	// Bits is the number of hyperplanes (hash bits) per table; 12 if zero.
+	Bits int
+	// Seed makes hyperplane generation deterministic.
+	Seed int64
+}
+
+// LSHIndex hashes vectors by the sign pattern of random hyperplane
+// projections; candidates from matching buckets are re-ranked exactly.
+type LSHIndex struct {
+	data   *linalg.Dense
+	tables []map[uint64][]int
+	planes [][][]float64 // [table][bit][dim]
+}
+
+// NewLSHIndex builds the index over the rows of x.
+func NewLSHIndex(x *linalg.Dense, cfg LSHConfig) (*LSHIndex, error) {
+	if cfg.Tables <= 0 {
+		cfg.Tables = 8
+	}
+	if cfg.Bits <= 0 {
+		cfg.Bits = 12
+	}
+	if cfg.Bits > 64 {
+		return nil, fmt.Errorf("ann: %d bits exceeds 64", cfg.Bits)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := &LSHIndex{
+		data:   x,
+		tables: make([]map[uint64][]int, cfg.Tables),
+		planes: make([][][]float64, cfg.Tables),
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		idx.tables[t] = map[uint64][]int{}
+		idx.planes[t] = make([][]float64, cfg.Bits)
+		for b := 0; b < cfg.Bits; b++ {
+			plane := make([]float64, x.Cols())
+			for j := range plane {
+				plane[j] = rng.NormFloat64()
+			}
+			idx.planes[t][b] = plane
+		}
+	}
+	for i := 0; i < x.Rows(); i++ {
+		row := x.RowView(i)
+		for t := range idx.tables {
+			h := idx.hash(t, row)
+			idx.tables[t][h] = append(idx.tables[t][h], i)
+		}
+	}
+	return idx, nil
+}
+
+// Len implements Index.
+func (l *LSHIndex) Len() int { return l.data.Rows() }
+
+func (l *LSHIndex) hash(table int, v []float64) uint64 {
+	var h uint64
+	for b, plane := range l.planes[table] {
+		if linalg.Dot(plane, v) >= 0 {
+			h |= 1 << uint(b)
+		}
+	}
+	return h
+}
+
+// Search implements Index: it gathers candidates from all tables whose
+// bucket matches the query hash and re-ranks them by exact distance. If no
+// bucket matches, it falls back to an exact scan so callers always receive
+// k results when k ≤ Len().
+func (l *LSHIndex) Search(query []float64, k int) []Neighbor {
+	if k <= 0 || l.data.Rows() == 0 {
+		return nil
+	}
+	seen := map[int]bool{}
+	for t := range l.tables {
+		for _, i := range l.tables[t][l.hash(t, query)] {
+			seen[i] = true
+		}
+	}
+	if len(seen) < k {
+		return NewFlatIndex(l.data).Search(query, k)
+	}
+	hits := make([]Neighbor, 0, len(seen))
+	for i := range seen {
+		hits = append(hits, Neighbor{
+			Index:    i,
+			Distance: linalg.SquaredDistance(query, l.data.RowView(i)),
+		})
+	}
+	sort.SliceStable(hits, func(a, b int) bool {
+		if hits[a].Distance != hits[b].Distance {
+			return hits[a].Distance < hits[b].Distance
+		}
+		return hits[a].Index < hits[b].Index
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+// Recall computes the fraction of exact top-k neighbours that an index
+// retrieves, averaged over the rows of queries — a quality probe for
+// approximate indexes.
+func Recall(exact, approx Index, queries *linalg.Dense, k int) float64 {
+	if queries.Rows() == 0 || k <= 0 {
+		return math.NaN()
+	}
+	var hits, total int
+	for q := 0; q < queries.Rows(); q++ {
+		row := queries.RowView(q)
+		truth := map[int]bool{}
+		for _, n := range exact.Search(row, k) {
+			truth[n.Index] = true
+		}
+		for _, n := range approx.Search(row, k) {
+			if truth[n.Index] {
+				hits++
+			}
+		}
+		total += len(truth)
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,152 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"collabscope/internal/linalg"
+)
+
+func randomData(n, dim int, seed int64) *linalg.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	x := linalg.NewDense(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return x
+}
+
+func TestFlatIndexExactness(t *testing.T) {
+	x := linalg.FromRows([][]float64{{0, 0}, {1, 0}, {5, 5}, {0.5, 0}})
+	idx := NewFlatIndex(x)
+	if idx.Len() != 4 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	hits := idx.Search([]float64{0.1, 0}, 2)
+	if len(hits) != 2 || hits[0].Index != 0 || hits[1].Index != 3 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	if hits[0].Distance > hits[1].Distance {
+		t.Fatal("hits not sorted by distance")
+	}
+}
+
+func TestFlatIndexEdgeCases(t *testing.T) {
+	x := randomData(3, 2, 1)
+	idx := NewFlatIndex(x)
+	if got := idx.Search([]float64{0, 0}, 0); got != nil {
+		t.Fatalf("k=0 hits = %v", got)
+	}
+	if got := idx.Search([]float64{0, 0}, 10); len(got) != 3 {
+		t.Fatalf("k>n hits = %d", len(got))
+	}
+	empty := NewFlatIndex(linalg.NewDense(0, 2))
+	if got := empty.Search([]float64{0, 0}, 5); got != nil {
+		t.Fatalf("empty index hits = %v", got)
+	}
+}
+
+func TestLSHIndexFindsNearDuplicates(t *testing.T) {
+	x := randomData(200, 16, 2)
+	idx, err := NewLSHIndex(x, LSHConfig{Tables: 10, Bits: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 200 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	// Query with a tiny perturbation of an indexed vector: the original
+	// must be the top hit.
+	q := x.Row(42)
+	q[0] += 1e-6
+	hits := idx.Search(q, 1)
+	if len(hits) != 1 || hits[0].Index != 42 {
+		t.Fatalf("hits = %+v, want row 42", hits)
+	}
+}
+
+func TestLSHValidation(t *testing.T) {
+	x := randomData(5, 4, 1)
+	if _, err := NewLSHIndex(x, LSHConfig{Bits: 100}); err == nil {
+		t.Fatal(">64 bits should fail")
+	}
+	idx, err := NewLSHIndex(x, LSHConfig{}) // defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Search(x.Row(0), 0); got != nil {
+		t.Fatalf("k=0 = %v", got)
+	}
+}
+
+func TestLSHFallbackGuaranteesK(t *testing.T) {
+	// With very selective hashes most buckets are singletons; the fallback
+	// must still return k results.
+	x := randomData(50, 8, 4)
+	idx, _ := NewLSHIndex(x, LSHConfig{Tables: 1, Bits: 20, Seed: 9})
+	hits := idx.Search(x.Row(0), 10)
+	if len(hits) != 10 {
+		t.Fatalf("got %d hits, want 10", len(hits))
+	}
+}
+
+func TestLSHRecallReasonable(t *testing.T) {
+	x := randomData(300, 24, 5)
+	flat := NewFlatIndex(x)
+	lsh, _ := NewLSHIndex(x, LSHConfig{Tables: 16, Bits: 6, Seed: 6})
+	queries := randomData(40, 24, 7)
+	r := Recall(flat, lsh, queries, 5)
+	if math.IsNaN(r) || r < 0.5 {
+		t.Fatalf("LSH recall = %v, want ≥ 0.5", r)
+	}
+}
+
+func TestRecallSelfIsOne(t *testing.T) {
+	x := randomData(50, 8, 8)
+	flat := NewFlatIndex(x)
+	if r := Recall(flat, flat, x, 3); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("self recall = %v", r)
+	}
+	if !math.IsNaN(Recall(flat, flat, linalg.NewDense(0, 8), 3)) {
+		t.Fatal("no queries should give NaN")
+	}
+}
+
+// Property: flat search results are sorted by distance and contain no
+// duplicate indices.
+func TestFlatSearchInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, dim := 1+r.Intn(40), 1+r.Intn(8)
+		x := randomData(n, dim, seed)
+		idx := NewFlatIndex(x)
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = r.NormFloat64()
+		}
+		k := 1 + r.Intn(n+3)
+		hits := idx.Search(q, k)
+		seen := map[int]bool{}
+		for i, h := range hits {
+			if seen[h.Index] {
+				return false
+			}
+			seen[h.Index] = true
+			if i > 0 && hits[i-1].Distance > h.Distance {
+				return false
+			}
+		}
+		want := k
+		if want > n {
+			want = n
+		}
+		return len(hits) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"collabscope/internal/linalg"
+)
+
+func TestHACValidation(t *testing.T) {
+	x := blobs([][]float64{{0, 0}}, 4, 0.1, 1)
+	if _, err := HAC(linalg.NewDense(0, 2), HACConfig{K: 2}); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := HAC(x, HACConfig{}); err == nil {
+		t.Fatal("missing Cutoff and K should fail")
+	}
+}
+
+func TestHACSeparatesBlobsAtK(t *testing.T) {
+	x := blobs([][]float64{{0, 0}, {10, 10}, {-10, 10}}, 10, 0.4, 2)
+	for _, link := range []Linkage{SingleLink, CompleteLink, AverageLink} {
+		assign, err := HAC(x, HACConfig{Linkage: link, K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each blob is one cluster.
+		for b := 0; b < 3; b++ {
+			want := assign[b*10]
+			for i := 0; i < 10; i++ {
+				if assign[b*10+i] != want {
+					t.Fatalf("%v: blob %d split", link, b)
+				}
+			}
+		}
+		if assign[0] == assign[10] || assign[10] == assign[20] {
+			t.Fatalf("%v: blobs merged", link)
+		}
+	}
+}
+
+func TestHACCutoff(t *testing.T) {
+	x := blobs([][]float64{{0, 0}, {100, 100}}, 8, 0.2, 3)
+	// A cutoff far below the blob separation keeps two clusters.
+	assign, err := HAC(x, HACConfig{Linkage: AverageLink, Cutoff: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{}
+	for _, a := range assign {
+		ids[a] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("cutoff 10 gave %d clusters, want 2", len(ids))
+	}
+	// A huge cutoff merges everything.
+	assign, err = HAC(x, HACConfig{Linkage: AverageLink, Cutoff: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range assign {
+		if a != assign[0] {
+			t.Fatal("huge cutoff should merge all")
+		}
+	}
+}
+
+func TestHACKClampsAndSinglePoint(t *testing.T) {
+	one := linalg.FromRows([][]float64{{1, 2}})
+	assign, err := HAC(one, HACConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 1 || assign[0] != 0 {
+		t.Fatalf("single point = %v", assign)
+	}
+}
+
+func TestHACLinkageStrings(t *testing.T) {
+	if SingleLink.String() != "single" || CompleteLink.String() != "complete" || AverageLink.String() != "average" {
+		t.Fatal("linkage names wrong")
+	}
+}
+
+func TestHACSingleVsCompleteOnChain(t *testing.T) {
+	// A chain of points: single-link merges the whole chain at a small
+	// cutoff, complete-link keeps it fragmented.
+	rows := make([][]float64, 12)
+	for i := range rows {
+		rows[i] = []float64{float64(i), 0}
+	}
+	x := linalg.FromRows(rows)
+	single, err := HAC(x, HACConfig{Linkage: SingleLink, Cutoff: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := HAC(x, HACConfig{Linkage: CompleteLink, Cutoff: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(assign []int) int {
+		ids := map[int]bool{}
+		for _, a := range assign {
+			ids[a] = true
+		}
+		return len(ids)
+	}
+	if count(single) != 1 {
+		t.Fatalf("single-link chain clusters = %d, want 1", count(single))
+	}
+	if count(complete) <= count(single) {
+		t.Fatalf("complete-link should fragment the chain: %d clusters", count(complete))
+	}
+}

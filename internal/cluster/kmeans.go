@@ -1,0 +1,246 @@
+// Package cluster provides k-means clustering (k-means++ seeding, Lloyd
+// iterations) and the silhouette coefficient. It is the substrate of the
+// CLUSTER matcher in the paper's ablation study (k-means co-membership
+// linkage generation, as in JedAI and Sahay et al.) and of the ALITE-style
+// self-tuned cardinality extension.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"collabscope/internal/linalg"
+)
+
+// Result is a fitted clustering.
+type Result struct {
+	// Assignments maps each row to its cluster in [0, K).
+	Assignments []int
+	// Centroids holds one row per cluster.
+	Centroids *linalg.Dense
+	// Inertia is the summed squared distance of rows to their centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations run.
+	Iterations int
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return r.Centroids.Rows() }
+
+// Config controls KMeans.
+type Config struct {
+	// K is the number of clusters (clamped to the number of rows).
+	K int
+	// MaxIter bounds Lloyd iterations; 100 if zero.
+	MaxIter int
+	// Seed drives the deterministic k-means++ initialisation.
+	Seed int64
+}
+
+// KMeans clusters the rows of x.
+func KMeans(x *linalg.Dense, cfg Config) (*Result, error) {
+	n := x.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty input")
+	}
+	k := cfg.K
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive k %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := seedPlusPlus(x, k, rng)
+	assign := make([]int, n)
+	res := &Result{Assignments: assign, Centroids: centroids}
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		res.Inertia = 0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := linalg.SquaredDistance(x.RowView(i), centroids.RowView(c))
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			res.Inertia += bestD
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty clusters re-seed on the farthest row.
+		counts := make([]int, k)
+		next := linalg.NewDense(k, x.Cols())
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := x.RowView(i)
+			cen := next.RowView(c)
+			for j := range row {
+				cen[j] += row[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far := farthestRow(x, centroids, assign)
+				copy(next.RowView(c), x.RowView(far))
+				assign[far] = c
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			cen := next.RowView(c)
+			for j := range cen {
+				cen[j] *= inv
+			}
+		}
+		centroids = next
+		res.Centroids = centroids
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ scheme.
+func seedPlusPlus(x *linalg.Dense, k int, rng *rand.Rand) *linalg.Dense {
+	n := x.Rows()
+	centroids := linalg.NewDense(k, x.Cols())
+	first := rng.Intn(n)
+	copy(centroids.RowView(0), x.RowView(first))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = linalg.SquaredDistance(x.RowView(i), centroids.RowView(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.RowView(c), x.RowView(pick))
+		for i := range d2 {
+			d := linalg.SquaredDistance(x.RowView(i), centroids.RowView(c))
+			if d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// farthestRow returns the row farthest from its assigned centroid.
+func farthestRow(x, centroids *linalg.Dense, assign []int) int {
+	best, bestD := 0, -1.0
+	for i := 0; i < x.Rows(); i++ {
+		d := linalg.SquaredDistance(x.RowView(i), centroids.RowView(assign[i]))
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering in
+// [−1, 1]; higher means better-separated clusters. Rows in singleton
+// clusters contribute 0, per the standard definition.
+func Silhouette(x *linalg.Dense, assign []int) float64 {
+	n := x.Rows()
+	if n < 2 {
+		return 0
+	}
+	k := 0
+	for _, a := range assign {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	var total float64
+	sums := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += linalg.Distance(x.RowView(i), x.RowView(j))
+		}
+		own := assign[i]
+		if counts[own] <= 1 {
+			continue // silhouette of a singleton is 0
+		}
+		a := sums[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}
+
+// BestKBySilhouette fits k-means for each k in ks and returns the result
+// with the highest silhouette coefficient — the ALITE-style self-tuned
+// cardinality (Khatiwada et al.) offered as an extension.
+func BestKBySilhouette(x *linalg.Dense, ks []int, seed int64) (*Result, float64, error) {
+	if len(ks) == 0 {
+		return nil, 0, fmt.Errorf("cluster: no candidate k values")
+	}
+	var best *Result
+	bestScore := math.Inf(-1)
+	for _, k := range ks {
+		res, err := KMeans(x, Config{K: k, Seed: seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		score := Silhouette(x, res.Assignments)
+		if score > bestScore {
+			best, bestScore = res, score
+		}
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"collabscope/internal/linalg"
+)
+
+// blobs returns n points around each of the given centers.
+func blobs(centers [][]float64, n int, spread float64, seed int64) *linalg.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(centers[0])
+	x := linalg.NewDense(len(centers)*n, dim)
+	row := 0
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			for j := 0; j < dim; j++ {
+				x.Set(row, j, c[j]+rng.NormFloat64()*spread)
+			}
+			row++
+		}
+	}
+	return x
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	x := blobs(centers, 20, 0.5, 1)
+	res, err := KMeans(x, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points of one blob must share a cluster, and distinct blobs must
+	// have distinct clusters.
+	for b := 0; b < 3; b++ {
+		want := res.Assignments[b*20]
+		for i := 0; i < 20; i++ {
+			if res.Assignments[b*20+i] != want {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+	if res.Assignments[0] == res.Assignments[20] || res.Assignments[20] == res.Assignments[40] {
+		t.Fatal("distinct blobs merged")
+	}
+	if res.Inertia > 200 {
+		t.Fatalf("inertia = %v, want small", res.Inertia)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	x := blobs([][]float64{{0, 0}}, 5, 0.1, 2)
+	if _, err := KMeans(x, Config{K: 0}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := KMeans(linalg.NewDense(0, 2), Config{K: 2}); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	// k > n clamps to n.
+	res, err := KMeans(x, Config{K: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 5 {
+		t.Fatalf("K = %d, want clamp to 5", res.K())
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	x := blobs([][]float64{{0, 0}, {5, 5}}, 15, 0.3, 3)
+	a, _ := KMeans(x, Config{K: 2, Seed: 7})
+	b, _ := KMeans(x, Config{K: 2, Seed: 7})
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed must give identical clustering")
+		}
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	x := blobs([][]float64{{1, 1}}, 10, 0.1, 4)
+	res, err := KMeans(x, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Fatal("all points must be in cluster 0")
+		}
+	}
+	// Centroid ≈ mean.
+	mean := x.ColMean()
+	if linalg.Distance(res.Centroids.RowView(0), mean) > 1e-9 {
+		t.Fatalf("centroid %v vs mean %v", res.Centroids.RowView(0), mean)
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	// All-identical points with k=3: must terminate without NaNs.
+	x := linalg.NewDense(6, 2)
+	for i := 0; i < 6; i++ {
+		x.Set(i, 0, 2)
+		x.Set(i, 1, 3)
+	}
+	res, err := KMeans(x, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Inertia) {
+		t.Fatal("NaN inertia")
+	}
+}
+
+func TestSilhouetteHighForSeparatedBlobs(t *testing.T) {
+	x := blobs([][]float64{{0, 0}, {20, 20}}, 15, 0.5, 6)
+	res, _ := KMeans(x, Config{K: 2, Seed: 1})
+	s := Silhouette(x, res.Assignments)
+	if s < 0.8 {
+		t.Fatalf("silhouette = %v, want > 0.8 for well-separated blobs", s)
+	}
+	// Random assignment scores much lower.
+	rng := rand.New(rand.NewSource(1))
+	randAssign := make([]int, x.Rows())
+	for i := range randAssign {
+		randAssign[i] = rng.Intn(2)
+	}
+	if sr := Silhouette(x, randAssign); sr >= s {
+		t.Fatalf("random silhouette %v should be below fitted %v", sr, s)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	if Silhouette(linalg.NewDense(1, 2), []int{0}) != 0 {
+		t.Fatal("single point silhouette should be 0")
+	}
+	x := blobs([][]float64{{0, 0}}, 5, 0.1, 7)
+	if Silhouette(x, []int{0, 0, 0, 0, 0}) != 0 {
+		t.Fatal("single cluster silhouette should be 0")
+	}
+}
+
+func TestBestKBySilhouette(t *testing.T) {
+	x := blobs([][]float64{{0, 0}, {15, 0}, {0, 15}}, 12, 0.4, 8)
+	res, score, err := BestKBySilhouette(x, []int{2, 3, 4, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 3 {
+		t.Fatalf("best K = %d, want 3 (score %v)", res.K(), score)
+	}
+	if _, _, err := BestKBySilhouette(x, nil, 1); err == nil {
+		t.Fatal("empty candidates should fail")
+	}
+}
+
+// Property: every point is assigned to its nearest centroid on return.
+func TestAssignmentOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, dim, k := 5+r.Intn(30), 1+r.Intn(4), 1+r.Intn(4)
+		x := linalg.NewDense(n, dim)
+		for i := 0; i < n; i++ {
+			for j := 0; j < dim; j++ {
+				x.Set(i, j, r.NormFloat64())
+			}
+		}
+		res, err := KMeans(x, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			own := linalg.SquaredDistance(x.RowView(i), res.Centroids.RowView(res.Assignments[i]))
+			for c := 0; c < res.K(); c++ {
+				if linalg.SquaredDistance(x.RowView(i), res.Centroids.RowView(c)) < own-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SuggestVariance proposes an explained-variance setting without any
+// linkability labels — an extension addressing the paper's open point that
+// "the ideal value for v is unknown and varies between the matching
+// scenarios" (§3).
+//
+// The heuristic exploits the shape of the kept-count curve: as v decreases
+// from 1, the number of elements assessed linkable rises gently while the
+// local models still discriminate, then jumps once the models degenerate
+// into accept-almost-everything (the saturation cliff visible in the
+// Figure 5-6 sweeps). The suggestion is the grid point just BEFORE the
+// steepest jump — the last setting on the discriminative side of the
+// cliff, which lands inside the paper's productive band.
+func (s *Scoper) SuggestVariance(grid []float64) (float64, error) {
+	if len(grid) < 3 {
+		return 0, fmt.Errorf("core: need at least 3 grid points, got %d", len(grid))
+	}
+	// Evaluate kept counts over the descending grid.
+	vs := append([]float64(nil), grid...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vs)))
+	counts := make([]float64, len(vs))
+	for i, v := range vs {
+		keep, err := s.Scope(v)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, ok := range keep {
+			if ok {
+				n++
+			}
+		}
+		counts[i] = float64(n)
+	}
+
+	bestIdx, bestSlope := 0, -1.0
+	for i := 0; i+1 < len(vs); i++ {
+		dv := vs[i] - vs[i+1]
+		if dv <= 0 {
+			continue
+		}
+		slope := (counts[i+1] - counts[i]) / dv
+		if slope > bestSlope {
+			bestIdx, bestSlope = i, slope
+		}
+	}
+	if bestSlope <= 0 {
+		// Flat curve: no saturation signal; stay conservative at the
+		// high-variance end of the productive band.
+		return vs[len(vs)/4], nil
+	}
+	return vs[bestIdx], nil
+}

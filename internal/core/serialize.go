@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"collabscope/internal/linalg"
+)
+
+// modelJSON is the wire format of an exchanged local model. It carries
+// exactly the three components of Algorithm 1's output — mean, retained
+// principal components, linkability range — plus identification metadata.
+// Nothing about individual schema elements leaves the schema.
+type modelJSON struct {
+	Schema     string      `json:"schema"`
+	Variance   float64     `json:"variance"`
+	Dim        int         `json:"dim"`
+	Mean       []float64   `json:"mean"`
+	Components [][]float64 `json:"components"`
+	Range      float64     `json:"range"`
+}
+
+// WriteJSON serialises the model for exchange with other schemas.
+func (m *Model) WriteJSON(w io.Writer) error {
+	wire := modelJSON{
+		Schema:   m.Schema,
+		Variance: m.Variance,
+		Dim:      len(m.pca.Mean),
+		Mean:     m.pca.Mean,
+		Range:    m.Range,
+	}
+	for i := 0; i < m.pca.Components.Rows(); i++ {
+		wire.Components = append(wire.Components, m.pca.Components.Row(i))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(wire)
+}
+
+// ReadModelJSON deserialises an exchanged model and validates its shape.
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	var wire modelJSON
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if wire.Dim <= 0 || len(wire.Mean) != wire.Dim {
+		return nil, fmt.Errorf("core: model mean has %d values, header says %d", len(wire.Mean), wire.Dim)
+	}
+	if len(wire.Components) == 0 {
+		return nil, fmt.Errorf("core: model has no principal components")
+	}
+	comp := linalg.NewDense(len(wire.Components), wire.Dim)
+	for i, row := range wire.Components {
+		if len(row) != wire.Dim {
+			return nil, fmt.Errorf("core: component %d has %d values, want %d", i, len(row), wire.Dim)
+		}
+		copy(comp.RowView(i), row)
+	}
+	if wire.Range < 0 {
+		return nil, fmt.Errorf("core: negative linkability range %v", wire.Range)
+	}
+	pca := &linalg.PCA{
+		Mean:       wire.Mean,
+		Components: comp,
+		NComp:      comp.Rows(),
+	}
+	return &Model{
+		Schema:   wire.Schema,
+		Variance: wire.Variance,
+		pca:      pca,
+		Range:    wire.Range,
+	}, nil
+}

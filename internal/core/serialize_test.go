@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	_, sets := encodeAll(t)
+	m, err := Train(sets[1], 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModelJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != m.Schema || back.Variance != m.Variance {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if back.Components() != m.Components() || back.Range != m.Range {
+		t.Fatalf("model shape lost: %d/%v vs %d/%v",
+			back.Components(), back.Range, m.Components(), m.Range)
+	}
+	// The round-tripped model must give identical verdicts.
+	orig := Assess(sets[0], []*Model{m})
+	rt := Assess(sets[0], []*Model{back})
+	for id, v := range orig {
+		if rt[id] != v {
+			t.Fatalf("verdict for %v changed after round trip", id)
+		}
+	}
+}
+
+func TestReadModelJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"no components":  `{"schema":"S","dim":2,"mean":[0,0],"components":[],"range":0.1}`,
+		"mean mismatch":  `{"schema":"S","dim":3,"mean":[0,0],"components":[[0,0,0]],"range":0.1}`,
+		"ragged rows":    `{"schema":"S","dim":2,"mean":[0,0],"components":[[0,0],[0]],"range":0.1}`,
+		"negative range": `{"schema":"S","dim":2,"mean":[0,0],"components":[[1,0]],"range":-1}`,
+		"zero dim":       `{"schema":"S","dim":0,"mean":[],"components":[[ ]],"range":0}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadModelJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

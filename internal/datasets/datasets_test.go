@@ -1,0 +1,178 @@
+package datasets
+
+import (
+	"testing"
+
+	"collabscope/internal/schema"
+)
+
+// TestTable2Counts asserts the exact Table-2 rows of the paper.
+func TestTable2Counts(t *testing.T) {
+	oc3 := OC3()
+	ocfo := OC3FO()
+
+	cases := []struct {
+		dataset *Dataset
+		schema  string
+		want    Stats
+	}{
+		{oc3, NameOracle, Stats{Tables: 7, Attributes: 43, Linkable: 27, Unlinkable: 23}},
+		{oc3, NameMySQL, Stats{Tables: 8, Attributes: 59, Linkable: 34, Unlinkable: 33}},
+		{oc3, NameHANA, Stats{Tables: 3, Attributes: 40, Linkable: 18, Unlinkable: 25}},
+		{ocfo, NameFormula, Stats{Tables: 16, Attributes: 111, Linkable: 0, Unlinkable: 127}},
+	}
+	for _, c := range cases {
+		if got := c.dataset.SchemaStats(c.schema); got != c.want {
+			t.Errorf("%s/%s stats = %+v, want %+v", c.dataset.Name, c.schema, got, c.want)
+		}
+	}
+
+	if got := oc3.TotalStats(); got != (Stats{Tables: 18, Attributes: 142, Linkable: 79, Unlinkable: 81}) {
+		t.Errorf("OC3 totals = %+v", got)
+	}
+	if got := ocfo.TotalStats(); got != (Stats{Tables: 34, Attributes: 253, Linkable: 79, Unlinkable: 208}) {
+		t.Errorf("OC3-FO totals = %+v", got)
+	}
+}
+
+// TestTable3Counts asserts the Cartesian product sizes and per-pair
+// annotated linkage counts of Table 3.
+func TestTable3Counts(t *testing.T) {
+	oc3 := OC3()
+	ocfo := OC3FO()
+
+	if got := schema.CartesianTables(oc3.Schemas); got != 101 {
+		t.Errorf("OC3 table Cartesian = %d, want 101", got)
+	}
+	if got := schema.CartesianAttributes(oc3.Schemas); got != 6617 {
+		t.Errorf("OC3 attribute Cartesian = %d, want 6617", got)
+	}
+	if got := schema.CartesianTables(ocfo.Schemas); got != 389 {
+		t.Errorf("OC3-FO table Cartesian = %d, want 389", got)
+	}
+	if got := schema.CartesianAttributes(ocfo.Schemas); got != 22379 {
+		t.Errorf("OC3-FO attribute Cartesian = %d, want 22379", got)
+	}
+
+	pairs := []struct {
+		a, b   string
+		ii, is int
+	}{
+		{NameOracle, NameMySQL, 14, 22},
+		{NameOracle, NameHANA, 10, 8},
+		{NameMySQL, NameHANA, 15, 1},
+	}
+	for _, p := range pairs {
+		ii, is := oc3.Truth.CountBetween(p.a, p.b)
+		if ii != p.ii || is != p.is {
+			t.Errorf("%s-%s linkages = %d II / %d IS, want %d / %d", p.a, p.b, ii, is, p.ii, p.is)
+		}
+	}
+
+	// Totals: the per-pair rows sum to 39 II / 31 IS (the paper's total
+	// row of 36 IS is inconsistent with its own pair rows; see the
+	// package comment).
+	ii, is := oc3.Truth.CountByType()
+	if ii != 39 || is != 31 {
+		t.Errorf("totals = %d II / %d IS, want 39 / 31", ii, is)
+	}
+}
+
+func TestGroundTruthEndpointsExist(t *testing.T) {
+	oc3 := OC3()
+	if err := oc3.Truth.Validate(oc3.Schemas); err != nil {
+		t.Fatalf("OC3 ground truth: %v", err)
+	}
+	fig := Figure1()
+	if err := fig.Truth.Validate(fig.Schemas); err != nil {
+		t.Fatalf("Figure1 ground truth: %v", err)
+	}
+}
+
+func TestSchemasValid(t *testing.T) {
+	for _, s := range OC3FO().Schemas {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestUnlinkableOverheads(t *testing.T) {
+	// §2.2 / §4.1: OC3 overhead 103 %, OC3-FO 263 %, Figure 1 60 %.
+	check := func(d *Dataset, want float64) {
+		t.Helper()
+		got := schema.UnlinkableOverhead(d.Labels())
+		if got < want-0.005 || got > want+0.005 {
+			t.Errorf("%s overhead = %.4f, want %.2f", d.Name, got, want)
+		}
+	}
+	check(OC3(), 81.0/79.0)
+	check(OC3FO(), 208.0/79.0)
+	check(Figure1(), 0.60)
+}
+
+func TestFigure1Counts(t *testing.T) {
+	fig := Figure1()
+	total := fig.TotalStats()
+	if total.Tables+total.Attributes != 24 {
+		t.Fatalf("Figure1 elements = %d, want 24", total.Tables+total.Attributes)
+	}
+	if total.Linkable != 15 || total.Unlinkable != 9 {
+		t.Fatalf("Figure1 labels = %d linkable / %d unlinkable, want 15 / 9", total.Linkable, total.Unlinkable)
+	}
+	// S4 (the Formula One car schema) is fully unlinkable.
+	s4 := fig.SchemaStats("S4")
+	if s4.Linkable != 0 || s4.Unlinkable != 5 {
+		t.Fatalf("S4 stats = %+v", s4)
+	}
+	// The paper's headline examples.
+	labels := fig.Labels()
+	if labels[schema.AttributeID("S2", "CUSTOMER", "DOB")] {
+		t.Error("DOB must be unlinkable")
+	}
+	if labels[schema.AttributeID("S1", "CLIENT", "PHONE")] {
+		t.Error("PHONE must be unlinkable")
+	}
+	if !labels[schema.AttributeID("S1", "CLIENT", "ADDRESS")] {
+		t.Error("ADDRESS must be linkable")
+	}
+}
+
+func TestOC3FOSharesTruthWithOC3(t *testing.T) {
+	a, b := OC3(), OC3FO()
+	if a.Truth.Len() != b.Truth.Len() {
+		t.Fatalf("truth sizes differ: %d vs %d", a.Truth.Len(), b.Truth.Len())
+	}
+	// No Formula One element may be linkable.
+	for id, linkable := range b.Labels() {
+		if id.Schema == NameFormula && linkable {
+			t.Fatalf("Formula One element %v marked linkable", id)
+		}
+	}
+}
+
+func TestDatasetsAreIndependentInstances(t *testing.T) {
+	a, b := OC3(), OC3()
+	a.Schemas[0].Tables[0].Name = "MUTATED"
+	if b.Schemas[0].Tables[0].Name == "MUTATED" {
+		t.Fatal("datasets must not share mutable state")
+	}
+}
+
+func TestSourceToTarget(t *testing.T) {
+	d := SourceToTarget()
+	if len(d.Schemas) != 2 {
+		t.Fatalf("schemas = %d", len(d.Schemas))
+	}
+	ii, is := d.Truth.CountByType()
+	if ii != 14 || is != 22 {
+		t.Fatalf("linkages = %d II / %d IS, want the Oracle-MySQL row 14 / 22", ii, is)
+	}
+	if err := d.Truth.Validate(d.Schemas); err != nil {
+		t.Fatal(err)
+	}
+	// Label coverage is the two schemas only.
+	if len(d.Labels()) != 50+67 {
+		t.Fatalf("labels = %d", len(d.Labels()))
+	}
+}

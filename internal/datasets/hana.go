@@ -1,0 +1,67 @@
+package datasets
+
+import "collabscope/internal/schema"
+
+// HANASchema re-creates the SAP HANA database-fundamentals tutorial sample:
+// 3 wide, denormalised tables, 40 attributes.
+func HANASchema() *schema.Schema {
+	const (
+		txt = schema.TypeText
+		num = schema.TypeNumber
+		dec = schema.TypeDecimal
+		dat = schema.TypeDate
+		ts  = schema.TypeTimestamp
+		bl  = schema.TypeBoolean
+	)
+	return mustSchema(&schema.Schema{
+		Name: NameHANA,
+		Tables: []schema.Table{
+			tbl("CUSTOMERS",
+				pk("ID", num),
+				at("FIRST_NAME", txt),
+				at("LAST_NAME", txt),
+				at("EMAIL", txt),
+				at("PHONE", txt),
+				at("STREET", txt),
+				at("CITY", txt),
+				at("REGION", txt),
+				at("POSTAL_CODE", txt),
+				at("COUNTRY", txt),
+				at("CREDIT_LIMIT", dec),
+				at("CREATED_AT", ts),
+				at("LOYALTY_TIER", txt),
+			),
+			tbl("PRODUCTS",
+				pk("ID", num),
+				at("NAME", txt),
+				at("DESCRIPTION", txt),
+				at("CATEGORY", txt),
+				at("PRICE", dec),
+				at("CURRENCY", txt),
+				at("STOCK_QUANTITY", num),
+				at("VENDOR", txt),
+				at("WEIGHT", dec),
+				at("WEIGHT_UNIT", txt),
+				at("IMAGE_URL", txt),
+				at("CREATED_AT", ts),
+				at("DISCONTINUED", bl),
+			),
+			tbl("ORDERS",
+				pk("ID", num),
+				fk("BUYER_ID", num),
+				at("ORDER_DATE", dat),
+				at("DELIVERY_DATE", dat),
+				at("STATUS", txt),
+				at("TOTAL_AMOUNT", dec),
+				at("CURRENCY", txt),
+				fk("PRODUCT_ID", num),
+				at("QUANTITY", num),
+				at("UNIT_PRICE", dec),
+				at("SHIP_STREET", txt),
+				at("SHIP_CITY", txt),
+				at("SHIP_COUNTRY", txt),
+				at("NOTES", txt),
+			),
+		},
+	})
+}

@@ -1,0 +1,77 @@
+package datasets
+
+import "collabscope/internal/schema"
+
+// OracleSchema re-creates the Oracle "Customer Orders" sample schema
+// (oracle-samples/db-sample-schemas): 7 tables, 43 attributes.
+func OracleSchema() *schema.Schema {
+	const (
+		txt = schema.TypeText
+		num = schema.TypeNumber
+		dec = schema.TypeDecimal
+		ts  = schema.TypeTimestamp
+		bin = schema.TypeBinary
+	)
+	return mustSchema(&schema.Schema{
+		Name: NameOracle,
+		Tables: []schema.Table{
+			tbl("CUSTOMERS",
+				pk("CUSTOMER_ID", num),
+				at("EMAIL_ADDRESS", txt),
+				at("FULL_NAME", txt),
+				at("PHONE_NUMBER", txt),
+			),
+			tbl("STORES",
+				pk("STORE_ID", num),
+				at("STORE_NAME", txt),
+				at("WEB_ADDRESS", txt),
+				at("PHYSICAL_ADDRESS", txt),
+				at("LATITUDE", dec),
+				at("LONGITUDE", dec),
+				at("LOGO", bin),
+				at("LOGO_MIME_TYPE", txt),
+				at("LOGO_FILENAME", txt),
+				at("LOGO_LAST_UPDATED", ts),
+			),
+			tbl("PRODUCTS",
+				pk("PRODUCT_ID", num),
+				at("PRODUCT_NAME", txt),
+				at("UNIT_PRICE", dec),
+				at("PRODUCT_DETAILS", txt),
+				at("PRODUCT_IMAGE", bin),
+				at("IMAGE_MIME_TYPE", txt),
+				at("IMAGE_FILENAME", txt),
+				at("IMAGE_CHARSET", txt),
+				at("IMAGE_LAST_UPDATED", ts),
+			),
+			tbl("ORDERS",
+				pk("ORDER_ID", num),
+				at("ORDER_DATETIME", ts),
+				fk("CUSTOMER_ID", num),
+				at("ORDER_STATUS", txt),
+				fk("STORE_ID", num),
+			),
+			tbl("SHIPMENTS",
+				pk("SHIPMENT_ID", num),
+				fk("STORE_ID", num),
+				fk("CUSTOMER_ID", num),
+				at("DELIVERY_ADDRESS", txt),
+				at("SHIPMENT_STATUS", txt),
+			),
+			tbl("ORDER_ITEMS",
+				fk("ORDER_ID", num),
+				at("LINE_ITEM_ID", num),
+				fk("PRODUCT_ID", num),
+				at("UNIT_PRICE", dec),
+				at("QUANTITY", num),
+				fk("SHIPMENT_ID", num),
+			),
+			tbl("INVENTORY",
+				pk("INVENTORY_ID", num),
+				fk("STORE_ID", num),
+				fk("PRODUCT_ID", num),
+				at("PRODUCT_INVENTORY", num),
+			),
+		},
+	})
+}

@@ -1,0 +1,176 @@
+package datasets
+
+import "collabscope/internal/schema"
+
+// oc3Truth builds the annotated linkage set L(S) for OC3 (and OC3-FO, where
+// the Formula One schema contributes no linkages). The per-pair counts
+// match Table 3: Oracle-MySQL 14 II / 22 IS, Oracle-HANA 10 II / 8 IS,
+// MySQL-HANA 15 II / 1 IS.
+func oc3Truth() *schema.GroundTruth {
+	g := schema.NewGroundTruth()
+
+	ot := func(t string) schema.ElementID { return schema.TableID(NameOracle, t) }
+	mt := func(t string) schema.ElementID { return schema.TableID(NameMySQL, t) }
+	ht := func(t string) schema.ElementID { return schema.TableID(NameHANA, t) }
+	oa := func(t, a string) schema.ElementID { return schema.AttributeID(NameOracle, t, a) }
+	ma := func(t, a string) schema.ElementID { return schema.AttributeID(NameMySQL, t, a) }
+	ha := func(t, a string) schema.ElementID { return schema.AttributeID(NameHANA, t, a) }
+
+	ii := func(a, b schema.ElementID) {
+		g.MustAdd(schema.Linkage{A: a, B: b, Type: schema.InterIdentical})
+	}
+	is := func(a, b schema.ElementID) {
+		g.MustAdd(schema.Linkage{A: a, B: b, Type: schema.InterSubTyped})
+	}
+
+	// ----- Oracle ↔ MySQL: 14 inter-identical -----
+	ii(ot("CUSTOMERS"), mt("customers"))
+	ii(ot("ORDERS"), mt("orders"))
+	ii(ot("PRODUCTS"), mt("products"))
+	ii(ot("ORDER_ITEMS"), mt("orderdetails"))
+	ii(oa("CUSTOMERS", "CUSTOMER_ID"), ma("customers", "customerNumber"))
+	ii(oa("CUSTOMERS", "FULL_NAME"), ma("customers", "customerName"))
+	ii(oa("CUSTOMERS", "PHONE_NUMBER"), ma("customers", "phone"))
+	ii(oa("ORDERS", "ORDER_ID"), ma("orders", "orderNumber"))
+	ii(oa("ORDERS", "ORDER_STATUS"), ma("orders", "status"))
+	ii(oa("ORDERS", "CUSTOMER_ID"), ma("orders", "customerNumber"))
+	ii(oa("PRODUCTS", "PRODUCT_NAME"), ma("products", "productName"))
+	ii(oa("ORDER_ITEMS", "QUANTITY"), ma("orderdetails", "quantityOrdered"))
+	ii(oa("ORDER_ITEMS", "UNIT_PRICE"), ma("orderdetails", "priceEach"))
+	ii(oa("ORDER_ITEMS", "ORDER_ID"), ma("orderdetails", "orderNumber"))
+
+	// ----- Oracle ↔ MySQL: 22 inter-sub-typed -----
+	is(ot("SHIPMENTS"), mt("orders")) // shipping lives inside classicmodels orders
+	is(ot("STORES"), mt("offices"))
+	is(oa("ORDERS", "ORDER_DATETIME"), ma("orders", "orderDate"))
+	is(oa("ORDERS", "ORDER_DATETIME"), ma("orders", "shippedDate"))
+	is(oa("ORDERS", "ORDER_DATETIME"), ma("orders", "requiredDate"))
+	is(oa("CUSTOMERS", "FULL_NAME"), ma("customers", "contactFirstName"))
+	is(oa("CUSTOMERS", "FULL_NAME"), ma("customers", "contactLastName"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ma("customers", "addressLine1"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ma("customers", "addressLine2"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ma("customers", "city"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ma("customers", "postalCode"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ma("customers", "country"))
+	is(oa("SHIPMENTS", "SHIPMENT_STATUS"), ma("orders", "status"))
+	is(oa("SHIPMENTS", "CUSTOMER_ID"), ma("orders", "customerNumber"))
+	is(oa("PRODUCTS", "PRODUCT_ID"), ma("products", "productCode"))
+	is(oa("ORDER_ITEMS", "PRODUCT_ID"), ma("orderdetails", "productCode"))
+	is(oa("PRODUCTS", "UNIT_PRICE"), ma("products", "buyPrice"))
+	is(oa("PRODUCTS", "UNIT_PRICE"), ma("products", "MSRP"))
+	is(oa("PRODUCTS", "PRODUCT_DETAILS"), ma("products", "productDescription"))
+	is(oa("STORES", "PHYSICAL_ADDRESS"), ma("offices", "addressLine1"))
+	is(oa("STORES", "PHYSICAL_ADDRESS"), ma("offices", "addressLine2"))
+	is(oa("STORES", "STORE_NAME"), ma("offices", "city"))
+
+	// ----- Oracle ↔ HANA: 10 inter-identical -----
+	ii(ot("CUSTOMERS"), ht("CUSTOMERS"))
+	ii(ot("ORDERS"), ht("ORDERS"))
+	ii(ot("PRODUCTS"), ht("PRODUCTS"))
+	ii(oa("CUSTOMERS", "CUSTOMER_ID"), ha("CUSTOMERS", "ID"))
+	ii(oa("CUSTOMERS", "EMAIL_ADDRESS"), ha("CUSTOMERS", "EMAIL"))
+	ii(oa("CUSTOMERS", "PHONE_NUMBER"), ha("CUSTOMERS", "PHONE"))
+	ii(oa("PRODUCTS", "PRODUCT_NAME"), ha("PRODUCTS", "NAME"))
+	ii(oa("PRODUCTS", "UNIT_PRICE"), ha("PRODUCTS", "PRICE"))
+	ii(oa("ORDERS", "ORDER_STATUS"), ha("ORDERS", "STATUS"))
+	ii(oa("ORDER_ITEMS", "QUANTITY"), ha("ORDERS", "QUANTITY"))
+
+	// ----- Oracle ↔ HANA: 8 inter-sub-typed -----
+	is(ot("ORDER_ITEMS"), ht("ORDERS")) // denormalised order lines
+	is(ot("SHIPMENTS"), ht("ORDERS"))   // shipping columns inside ORDERS
+	is(oa("ORDERS", "ORDER_DATETIME"), ha("ORDERS", "ORDER_DATE"))
+	is(oa("CUSTOMERS", "FULL_NAME"), ha("CUSTOMERS", "FIRST_NAME"))
+	is(oa("CUSTOMERS", "FULL_NAME"), ha("CUSTOMERS", "LAST_NAME"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ha("CUSTOMERS", "STREET"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ha("CUSTOMERS", "CITY"))
+	is(oa("SHIPMENTS", "DELIVERY_ADDRESS"), ha("CUSTOMERS", "COUNTRY"))
+
+	// ----- MySQL ↔ HANA: 15 inter-identical -----
+	ii(mt("customers"), ht("CUSTOMERS"))
+	ii(mt("orders"), ht("ORDERS"))
+	ii(mt("products"), ht("PRODUCTS"))
+	ii(ma("customers", "customerNumber"), ha("CUSTOMERS", "ID"))
+	ii(ma("customers", "contactFirstName"), ha("CUSTOMERS", "FIRST_NAME"))
+	ii(ma("customers", "contactLastName"), ha("CUSTOMERS", "LAST_NAME"))
+	ii(ma("customers", "phone"), ha("CUSTOMERS", "PHONE"))
+	ii(ma("customers", "addressLine1"), ha("CUSTOMERS", "STREET"))
+	ii(ma("customers", "city"), ha("CUSTOMERS", "CITY"))
+	ii(ma("customers", "country"), ha("CUSTOMERS", "COUNTRY"))
+	ii(ma("customers", "postalCode"), ha("CUSTOMERS", "POSTAL_CODE"))
+	ii(ma("customers", "creditLimit"), ha("CUSTOMERS", "CREDIT_LIMIT"))
+	ii(ma("products", "productName"), ha("PRODUCTS", "NAME"))
+	ii(ma("products", "buyPrice"), ha("PRODUCTS", "PRICE"))
+	ii(ma("orders", "orderDate"), ha("ORDERS", "ORDER_DATE"))
+
+	// ----- MySQL ↔ HANA: 1 inter-sub-typed -----
+	is(mt("orderdetails"), ht("ORDERS")) // denormalised order lines
+
+	return g
+}
+
+// Figure1 returns the toy scenario of Figure 1: four tiny schemas with 24
+// elements, 15 linkable, for a 60 % unlinkable overhead.
+func Figure1() *Dataset {
+	const (
+		txt = schema.TypeText
+		num = schema.TypeNumber
+		dat = schema.TypeDate
+	)
+	s1 := mustSchema(&schema.Schema{Name: "S1", Tables: []schema.Table{
+		tbl("CLIENT",
+			pk("CID", num), at("NAME", txt), at("ADDRESS", txt), at("PHONE", txt)),
+	}})
+	s2 := mustSchema(&schema.Schema{Name: "S2", Tables: []schema.Table{
+		tbl("CUSTOMER",
+			pk("CID", num), at("FIRST_NAME", txt), at("LAST_NAME", txt), at("DOB", dat)),
+		tbl("SHIPMENTS",
+			pk("SID", num), fk("CID", num), at("CITY", txt)),
+	}})
+	s3 := mustSchema(&schema.Schema{Name: "S3", Tables: []schema.Table{
+		tbl("BUYER",
+			pk("BID", num), at("CNAME", txt), at("CITY", txt), at("ZIP", txt)),
+	}})
+	s4 := mustSchema(&schema.Schema{Name: "S4", Tables: []schema.Table{
+		tbl("CAR",
+			pk("CID", num), at("CNAME", txt), at("YEAR", num), at("COUNTRY", txt)),
+	}})
+
+	g := schema.NewGroundTruth()
+	ii := func(a, b schema.ElementID) {
+		g.MustAdd(schema.Linkage{A: a, B: b, Type: schema.InterIdentical})
+	}
+	is := func(a, b schema.ElementID) {
+		g.MustAdd(schema.Linkage{A: a, B: b, Type: schema.InterSubTyped})
+	}
+
+	// Tables.
+	ii(schema.TableID("S1", "CLIENT"), schema.TableID("S2", "CUSTOMER"))
+	ii(schema.TableID("S1", "CLIENT"), schema.TableID("S3", "BUYER"))
+	ii(schema.TableID("S2", "CUSTOMER"), schema.TableID("S3", "BUYER"))
+	is(schema.TableID("S1", "CLIENT"), schema.TableID("S2", "SHIPMENTS"))
+
+	// Customer identifiers.
+	ii(schema.AttributeID("S1", "CLIENT", "CID"), schema.AttributeID("S2", "CUSTOMER", "CID"))
+	ii(schema.AttributeID("S1", "CLIENT", "CID"), schema.AttributeID("S3", "BUYER", "BID"))
+	ii(schema.AttributeID("S2", "CUSTOMER", "CID"), schema.AttributeID("S3", "BUYER", "BID"))
+	is(schema.AttributeID("S1", "CLIENT", "CID"), schema.AttributeID("S2", "SHIPMENTS", "CID"))
+
+	// Names: NAME ⇒ CNAME is inter-identical after lexical normalisation;
+	// FIRST_NAME/LAST_NAME are sub-typed splits.
+	ii(schema.AttributeID("S1", "CLIENT", "NAME"), schema.AttributeID("S3", "BUYER", "CNAME"))
+	is(schema.AttributeID("S1", "CLIENT", "NAME"), schema.AttributeID("S2", "CUSTOMER", "FIRST_NAME"))
+	is(schema.AttributeID("S1", "CLIENT", "NAME"), schema.AttributeID("S2", "CUSTOMER", "LAST_NAME"))
+	is(schema.AttributeID("S2", "CUSTOMER", "FIRST_NAME"), schema.AttributeID("S3", "BUYER", "CNAME"))
+	is(schema.AttributeID("S2", "CUSTOMER", "LAST_NAME"), schema.AttributeID("S3", "BUYER", "CNAME"))
+
+	// Locations: ADDRESS splits into CITY.
+	is(schema.AttributeID("S1", "CLIENT", "ADDRESS"), schema.AttributeID("S3", "BUYER", "CITY"))
+	is(schema.AttributeID("S1", "CLIENT", "ADDRESS"), schema.AttributeID("S2", "SHIPMENTS", "CITY"))
+	ii(schema.AttributeID("S2", "SHIPMENTS", "CITY"), schema.AttributeID("S3", "BUYER", "CITY"))
+
+	return &Dataset{
+		Name:    "Figure1",
+		Schemas: []*schema.Schema{s1, s2, s3, s4},
+		Truth:   g,
+	}
+}

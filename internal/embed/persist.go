@@ -1,0 +1,50 @@
+package embed
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"collabscope/internal/linalg"
+	"collabscope/internal/schema"
+)
+
+// signatureSetJSON is the wire form of a signature set, so pipelines can
+// encode once and reuse signatures across runs (the encoder is the dominant
+// cost at corpus scale).
+type signatureSetJSON struct {
+	Dim  int                `json:"dim"`
+	IDs  []schema.ElementID `json:"ids"`
+	Rows [][]float64        `json:"rows"`
+}
+
+// WriteJSON serialises the signature set.
+func (s *SignatureSet) WriteJSON(w io.Writer) error {
+	wire := signatureSetJSON{Dim: s.Matrix.Cols(), IDs: s.IDs}
+	for i := 0; i < s.Matrix.Rows(); i++ {
+		wire.Rows = append(wire.Rows, s.Matrix.Row(i))
+	}
+	return json.NewEncoder(w).Encode(wire)
+}
+
+// ReadSignatureSetJSON deserialises and validates a signature set.
+func ReadSignatureSetJSON(r io.Reader) (*SignatureSet, error) {
+	var wire signatureSetJSON
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("embed: decode signature set: %w", err)
+	}
+	if len(wire.IDs) != len(wire.Rows) {
+		return nil, fmt.Errorf("embed: %d ids but %d rows", len(wire.IDs), len(wire.Rows))
+	}
+	if wire.Dim < 0 {
+		return nil, fmt.Errorf("embed: negative dimension %d", wire.Dim)
+	}
+	m := linalg.NewDense(len(wire.Rows), wire.Dim)
+	for i, row := range wire.Rows {
+		if len(row) != wire.Dim {
+			return nil, fmt.Errorf("embed: row %d has %d values, want %d", i, len(row), wire.Dim)
+		}
+		copy(m.RowView(i), row)
+	}
+	return &SignatureSet{IDs: wire.IDs, Matrix: m}, nil
+}

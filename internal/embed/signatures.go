@@ -1,0 +1,122 @@
+package embed
+
+import (
+	"collabscope/internal/linalg"
+	"collabscope/internal/schema"
+)
+
+// SignatureSet couples schema element identifiers with their signatures,
+// row i of Matrix belonging to IDs[i]. It is the S_k^v of the paper.
+type SignatureSet struct {
+	IDs    []schema.ElementID
+	Matrix *linalg.Dense
+}
+
+// Len returns the number of signatures.
+func (s *SignatureSet) Len() int { return len(s.IDs) }
+
+// EncodeSchema serialises every element of the schema (T^t for tables, T^a
+// for attributes) and encodes the sequences into a signature set — phase (I)
+// of collaborative scoping, lines 1-2 of Algorithm 1.
+func EncodeSchema(enc Encoder, s *schema.Schema) *SignatureSet {
+	els := s.Elements()
+	ids := make([]schema.ElementID, len(els))
+	m := linalg.NewDense(len(els), enc.Dim())
+	for i, el := range els {
+		ids[i] = el.ID
+		copy(m.RowView(i), enc.Encode(el.Text))
+	}
+	return &SignatureSet{IDs: ids, Matrix: m}
+}
+
+// EncodeSchemaWithSamples is EncodeSchema with attribute serialisations
+// that include instance value samples (§2.3 enrichment variant). The paper
+// shows this enrichment helps some pairs and hurts others, and reduces
+// matching effectiveness overall.
+func EncodeSchemaWithSamples(enc Encoder, s *schema.Schema) *SignatureSet {
+	els := s.ElementsWithSamples()
+	ids := make([]schema.ElementID, len(els))
+	m := linalg.NewDense(len(els), enc.Dim())
+	for i, el := range els {
+		ids[i] = el.ID
+		copy(m.RowView(i), enc.Encode(el.Text))
+	}
+	return &SignatureSet{IDs: ids, Matrix: m}
+}
+
+// EncodeSchemas encodes each schema independently with the shared encoder.
+func EncodeSchemas(enc Encoder, schemas []*schema.Schema) []*SignatureSet {
+	out := make([]*SignatureSet, len(schemas))
+	for i, s := range schemas {
+		out[i] = EncodeSchema(enc, s)
+	}
+	return out
+}
+
+// Union concatenates signature sets into one, preserving order — the
+// unified S^v used by the global scoping baseline.
+func Union(sets []*SignatureSet) *SignatureSet {
+	total, dim := 0, 0
+	for _, s := range sets {
+		total += s.Len()
+		if s.Matrix.Cols() > dim {
+			dim = s.Matrix.Cols()
+		}
+	}
+	ids := make([]schema.ElementID, 0, total)
+	m := linalg.NewDense(total, dim)
+	row := 0
+	for _, s := range sets {
+		for i := 0; i < s.Len(); i++ {
+			ids = append(ids, s.IDs[i])
+			copy(m.RowView(row), s.Matrix.RowView(i))
+			row++
+		}
+	}
+	return &SignatureSet{IDs: ids, Matrix: m}
+}
+
+// AttributeSignatures returns the subset of the signature set containing
+// only attribute elements, used by matchers that compare attributes.
+func (s *SignatureSet) AttributeSignatures() *SignatureSet {
+	return s.filter(schema.KindAttribute)
+}
+
+// TableSignatures returns the subset containing only table elements.
+func (s *SignatureSet) TableSignatures() *SignatureSet {
+	return s.filter(schema.KindTable)
+}
+
+func (s *SignatureSet) filter(kind schema.ElementKind) *SignatureSet {
+	var rows []int
+	for i, id := range s.IDs {
+		if id.Kind == kind {
+			rows = append(rows, i)
+		}
+	}
+	ids := make([]schema.ElementID, len(rows))
+	m := linalg.NewDense(len(rows), s.Matrix.Cols())
+	for j, i := range rows {
+		ids[j] = s.IDs[i]
+		copy(m.RowView(j), s.Matrix.RowView(i))
+	}
+	return &SignatureSet{IDs: ids, Matrix: m}
+}
+
+// Select returns the subset of the signature set whose identifiers are in
+// keep, preserving order.
+func (s *SignatureSet) Select(keep map[schema.ElementID]bool) *SignatureSet {
+	var rows []int
+	for i, id := range s.IDs {
+		if keep[id] {
+			rows = append(rows, i)
+		}
+	}
+	ids := make([]schema.ElementID, len(rows))
+	m := linalg.NewDense(len(rows), s.Matrix.Cols())
+	for j, i := range rows {
+		ids[j] = s.IDs[i]
+		copy(m.RowView(j), s.Matrix.RowView(i))
+	}
+	return &SignatureSet{IDs: ids, Matrix: m}
+}

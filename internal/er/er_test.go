@@ -1,0 +1,195 @@
+package er
+
+import (
+	"strings"
+	"testing"
+
+	"collabscope/internal/embed"
+	"collabscope/internal/schema"
+)
+
+func testEncoder() embed.Encoder {
+	return embed.NewHashEncoder(embed.WithDim(256))
+}
+
+func TestRecordSerializeDeterministic(t *testing.T) {
+	r := Record{
+		Source: "A", Key: "1", Entity: "person",
+		Fields: map[string]string{"last_name": "CHEN", "first_name": "ALICE"},
+	}
+	got := r.Serialize()
+	want := "person first_name ALICE last_name CHEN"
+	if got != want {
+		t.Fatalf("Serialize = %q, want %q", got, want)
+	}
+	if r.ID() != schema.AttributeID("A", "person", "1") {
+		t.Fatalf("ID = %v", r.ID())
+	}
+}
+
+func TestEncodeSourceValidation(t *testing.T) {
+	enc := testEncoder()
+	if _, err := EncodeSource(enc, Source{Name: "empty"}); err == nil {
+		t.Fatal("empty source should fail")
+	}
+	wrongOwner := Source{Name: "A", Records: []Record{{Source: "B", Key: "1", Entity: "person"}}}
+	if _, err := EncodeSource(enc, wrongOwner); err == nil {
+		t.Fatal("mismatched record source should fail")
+	}
+	dup := Source{Name: "A", Records: []Record{
+		{Source: "A", Key: "1", Entity: "person"},
+		{Source: "A", Key: "1", Entity: "person"},
+	}}
+	if _, err := EncodeSource(enc, dup); err == nil {
+		t.Fatal("duplicate keys should fail")
+	}
+}
+
+func TestGenerateSources(t *testing.T) {
+	a, b, truth, err := GenerateSources(GenConfig{Shared: 10, NoiseA: 5, NoiseB: 3, UnrelatedB: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != 15 || len(b.Records) != 17 {
+		t.Fatalf("records = %d / %d", len(a.Records), len(b.Records))
+	}
+	if truth.Len() != 10 {
+		t.Fatalf("truth = %d", truth.Len())
+	}
+	if _, _, _, err := GenerateSources(GenConfig{Shared: 0}); err == nil {
+		t.Fatal("shared=0 should fail")
+	}
+	// Deterministic.
+	a2, _, _, _ := GenerateSources(GenConfig{Shared: 10, NoiseA: 5, NoiseB: 3, UnrelatedB: 4, Seed: 1})
+	for i := range a.Records {
+		if a.Records[i].Serialize() != a2.Records[i].Serialize() {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestBlockingFindsDuplicates(t *testing.T) {
+	enc := testEncoder()
+	a, b, truth, err := GenerateSources(GenConfig{Shared: 20, NoiseA: 10, NoiseB: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := BlockTopK(enc, []Source{a, b}, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Evaluate(cands, truth)
+	if e.PC < 0.8 {
+		t.Fatalf("blocking recall = %.3f, want ≥ 0.8 (%d/%d found)", e.PC, e.Correct, truth.Len())
+	}
+}
+
+func TestBlockingNeverPairsAcrossEntityTypes(t *testing.T) {
+	enc := testEncoder()
+	a, b, _, err := GenerateSources(GenConfig{Shared: 5, UnrelatedB: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := BlockTopK(enc, []Source{a, b}, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cands {
+		if p.A.Table != p.B.Table {
+			t.Fatalf("cross-entity pair %v ~ %v", p.A, p.B)
+		}
+	}
+}
+
+func TestScopingPrunesUnmatchableRecords(t *testing.T) {
+	// The headline ER claim: collaborative scoping over record sources
+	// prunes records without counterparts (especially the unrelated
+	// "book" records), shrinking the blocking candidate space while
+	// keeping completeness close.
+	enc := testEncoder()
+	a, b, truth, err := GenerateSources(GenConfig{Shared: 25, NoiseA: 8, NoiseB: 8, UnrelatedB: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []Source{a, b}
+
+	// Record signatures are dominated by per-record values (names), so
+	// useful variance targets sit lower than for schema metadata.
+	keep, err := Scope(enc, sources, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Books are structurally foreign to the CRM source's model: most must
+	// be pruned.
+	var bookKept, bookTotal int
+	for id, ok := range keep {
+		if id.Table == "book" {
+			bookTotal++
+			if ok {
+				bookKept++
+			}
+		}
+	}
+	if bookTotal != 12 {
+		t.Fatalf("book records = %d", bookTotal)
+	}
+	if bookKept > 2 {
+		t.Fatalf("%d of %d unrelated book records survived scoping", bookKept, bookTotal)
+	}
+
+	full, err := BlockTopK(enc, sources, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoped, err := BlockTopK(enc, sources, keep, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, es := Evaluate(full, truth), Evaluate(scoped, truth)
+	if es.Candidates >= ef.Candidates {
+		t.Fatalf("scoping should shrink candidates: %d vs %d", es.Candidates, ef.Candidates)
+	}
+	if es.PC < ef.PC-0.30 {
+		t.Fatalf("scoped completeness %.3f far below full %.3f", es.PC, ef.PC)
+	}
+	// Record-level pruning trades a little pair quality for the candidate
+	// reduction; it must stay in the same range.
+	if es.PQ < ef.PQ-0.05 {
+		t.Fatalf("scoped pair quality %.3f far below full %.3f", es.PQ, ef.PQ)
+	}
+}
+
+func TestEvaluateDeduplicates(t *testing.T) {
+	truth := NewTruth()
+	x := schema.AttributeID("A", "person", "1")
+	y := schema.AttributeID("B", "person", "2")
+	truth.Add(x, y)
+	e := Evaluate([]CandidatePair{{A: x, B: y}, {A: y, B: x}}, truth)
+	if e.Candidates != 1 || e.Correct != 1 || e.PQ != 1 || e.PC != 1 {
+		t.Fatalf("eval = %+v", e)
+	}
+}
+
+func TestMatchedRecords(t *testing.T) {
+	truth := NewTruth()
+	truth.Add(schema.AttributeID("A", "person", "1"), schema.AttributeID("B", "person", "2"))
+	m := truth.MatchedRecords()
+	if len(m) != 2 {
+		t.Fatalf("matched = %v", m)
+	}
+}
+
+func TestPerturbVariants(t *testing.T) {
+	// All perturbation branches yield non-empty uppercase strings.
+	a, _, _, err := GenerateSources(GenConfig{Shared: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range a.Records {
+		for _, v := range r.Fields {
+			if v == "" || v != strings.ToUpper(v) {
+				t.Fatalf("bad field value %q", v)
+			}
+		}
+	}
+}

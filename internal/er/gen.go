@@ -1,0 +1,136 @@
+package er
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig controls the synthetic entity-resolution scenario generator.
+type GenConfig struct {
+	// Shared is the number of person entities present in BOTH sources
+	// (with perturbed field values in the second).
+	Shared int
+	// NoiseA and NoiseB are source-exclusive person counts.
+	NoiseA, NoiseB int
+	// UnrelatedB adds records of a different entity type ("book") to the
+	// second source — the domain-heterogeneity analogue.
+	UnrelatedB int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+var (
+	firstNames = []string{
+		"ALICE", "BRUNO", "CARLA", "DAVID", "ELENA", "FARID", "GRETA",
+		"HUGO", "IRENE", "JONAS", "KARIM", "LUISA", "MARCO", "NADIA",
+		"OSCAR", "PETRA", "QUINN", "ROSA", "STEFAN", "TARA",
+	}
+	lastNames = []string{
+		"ADAMS", "BECKER", "CHEN", "DUARTE", "ERIKSEN", "FISCHER",
+		"GARCIA", "HOFFMANN", "IBRAHIM", "JANSEN", "KOWALSKI", "LINDQVIST",
+		"MORETTI", "NAKAMURA", "OKAFOR", "PETROV", "QUISPE", "ROSSI",
+		"SANTOS", "TANAKA",
+	}
+	cities = []string{
+		"BERLIN", "MADRID", "OSLO", "PORTO", "RIGA", "SOFIA", "TURIN",
+		"UTRECHT", "VIENNA", "WARSAW",
+	}
+	bookTitles = []string{
+		"COMPILER DESIGN", "QUANTUM FIELDS", "BAROQUE MUSIC", "DEEP SEA BIOLOGY",
+		"MEDIEVAL TRADE", "POLAR EXPEDITIONS", "CERAMIC GLAZES", "ORBITAL MECHANICS",
+	}
+)
+
+// GenerateSources builds two record sources with a known duplicate set.
+func GenerateSources(cfg GenConfig) (a, b Source, truth *Truth, err error) {
+	if cfg.Shared <= 0 {
+		return a, b, nil, fmt.Errorf("er: need at least 1 shared entity")
+	}
+	total := cfg.Shared + cfg.NoiseA + cfg.NoiseB
+	if total > len(firstNames)*len(lastNames) {
+		return a, b, nil, fmt.Errorf("er: %d entities exceed the name pool", total)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a = Source{Name: "CRM"}
+	b = Source{Name: "Billing"}
+	truth = NewTruth()
+
+	perm := rng.Perm(len(firstNames) * len(lastNames))
+	person := func(i int) (string, string) {
+		p := perm[i]
+		return firstNames[p%len(firstNames)], lastNames[p/len(firstNames)]
+	}
+
+	idx := 0
+	for i := 0; i < cfg.Shared; i++ {
+		first, last := person(idx)
+		idx++
+		city := cities[rng.Intn(len(cities))]
+		ra := Record{
+			Source: a.Name, Key: fmt.Sprintf("a%03d", i), Entity: "person",
+			Fields: map[string]string{"first_name": first, "last_name": last, "city": city},
+		}
+		rb := Record{
+			Source: b.Name, Key: fmt.Sprintf("b%03d", i), Entity: "person",
+			Fields: map[string]string{
+				"first_name": perturb(rng, first),
+				"last_name":  perturb(rng, last),
+				"city":       city,
+			},
+		}
+		a.Records = append(a.Records, ra)
+		b.Records = append(b.Records, rb)
+		truth.Add(ra.ID(), rb.ID())
+	}
+	for i := 0; i < cfg.NoiseA; i++ {
+		first, last := person(idx)
+		idx++
+		a.Records = append(a.Records, Record{
+			Source: a.Name, Key: fmt.Sprintf("an%03d", i), Entity: "person",
+			Fields: map[string]string{
+				"first_name": first, "last_name": last,
+				"city": cities[rng.Intn(len(cities))],
+			},
+		})
+	}
+	for i := 0; i < cfg.NoiseB; i++ {
+		first, last := person(idx)
+		idx++
+		b.Records = append(b.Records, Record{
+			Source: b.Name, Key: fmt.Sprintf("bn%03d", i), Entity: "person",
+			Fields: map[string]string{
+				"first_name": first, "last_name": last,
+				"city": cities[rng.Intn(len(cities))],
+			},
+		})
+	}
+	for i := 0; i < cfg.UnrelatedB; i++ {
+		b.Records = append(b.Records, Record{
+			Source: b.Name, Key: fmt.Sprintf("bu%03d", i), Entity: "book",
+			Fields: map[string]string{
+				"title":     bookTitles[rng.Intn(len(bookTitles))],
+				"isbn":      fmt.Sprintf("978-%07d", rng.Intn(10000000)),
+				"publisher": fmt.Sprintf("PRESS_%02d", rng.Intn(20)),
+			},
+		})
+	}
+	return a, b, truth, nil
+}
+
+// perturb applies a small typographic perturbation: truncation to an
+// initial, a dropped character, or identity.
+func perturb(rng *rand.Rand, s string) string {
+	if len(s) < 3 {
+		return s
+	}
+	switch rng.Intn(3) {
+	case 0: // initial, as in "J." for "JONAS"
+		return s[:1]
+	case 1: // drop a middle character
+		i := 1 + rng.Intn(len(s)-2)
+		return s[:i] + s[i+1:]
+	default:
+		return strings.ToUpper(s)
+	}
+}

@@ -1,0 +1,270 @@
+// Package integrate consumes schema linkages downstream of matching: it
+// clusters linked elements into connected components, derives a mediated
+// (global) schema, and emits SQL view skeletons (UNION ALL over renamed
+// projections) that materialise it. The paper leaves integration via JOINs
+// and UNIONs out of scope (§2.1); this package provides the natural
+// consumer of the linkages the pipeline produces.
+package integrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"collabscope/internal/match"
+	"collabscope/internal/schema"
+)
+
+// Components groups elements connected by linkage pairs into clusters,
+// separately per element kind. Singleton elements (never linked) do not
+// appear. Clusters and their members are deterministically ordered.
+func Components(pairs []match.Pair) (tables, attributes [][]schema.ElementID) {
+	parent := map[schema.ElementID]schema.ElementID{}
+	var find func(x schema.ElementID) schema.ElementID
+	find = func(x schema.ElementID) schema.ElementID {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b schema.ElementID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, p := range pairs {
+		if p.A.Kind != p.B.Kind {
+			continue
+		}
+		union(p.A, p.B)
+	}
+	groups := map[schema.ElementID][]schema.ElementID{}
+	for x := range parent {
+		root := find(x)
+		groups[root] = append(groups[root], x)
+	}
+	// Order clusters by their smallest member so the result is independent
+	// of pair insertion order (union-find roots are not).
+	var all [][]schema.ElementID
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		all = append(all, schema.SortElementIDs(members))
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i][0], all[j][0]
+		if a.Schema != b.Schema {
+			return a.Schema < b.Schema
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		return a.Attribute < b.Attribute
+	})
+	for _, cluster := range all {
+		if cluster[0].Kind == schema.KindTable {
+			tables = append(tables, cluster)
+		} else {
+			attributes = append(attributes, cluster)
+		}
+	}
+	return tables, attributes
+}
+
+// Column is one mediated attribute: its global name and the source
+// attribute per schema (a schema may contribute several, e.g. split
+// concepts).
+type Column struct {
+	Name    string
+	Sources map[string][]schema.ElementID // schema name → contributing attributes
+}
+
+// MediatedTable is one global table with its contributing source tables
+// and merged columns.
+type MediatedTable struct {
+	Name    string
+	Sources map[string][]schema.ElementID // schema name → contributing tables
+	Columns []Column
+}
+
+// Mediated is a derived global schema.
+type Mediated struct {
+	Tables []MediatedTable
+}
+
+// Build derives the mediated schema from linkage pairs over the given
+// source schemas: table clusters become mediated tables; attribute clusters
+// become columns of the mediated table their owners most often belong to.
+// Attribute clusters whose owner tables are unclustered form a standalone
+// mediated table.
+func Build(schemas []*schema.Schema, pairs []match.Pair) *Mediated {
+	tables, attrs := Components(pairs)
+
+	// Map source table → mediated table index.
+	med := &Mediated{}
+	tableOf := map[string]int{} // "schema.table" → index
+	for _, cluster := range tables {
+		mt := MediatedTable{
+			Name:    mediatedName(cluster),
+			Sources: map[string][]schema.ElementID{},
+		}
+		idx := len(med.Tables)
+		for _, id := range cluster {
+			mt.Sources[id.Schema] = append(mt.Sources[id.Schema], id)
+			tableOf[id.Schema+"."+id.Table] = idx
+		}
+		med.Tables = append(med.Tables, mt)
+	}
+
+	orphanIdx := -1
+	for _, cluster := range attrs {
+		col := Column{
+			Name:    mediatedName(cluster),
+			Sources: map[string][]schema.ElementID{},
+		}
+		votes := map[int]int{}
+		for _, id := range cluster {
+			col.Sources[id.Schema] = append(col.Sources[id.Schema], id)
+			if ti, ok := tableOf[id.Schema+"."+id.Table]; ok {
+				votes[ti]++
+			}
+		}
+		target := -1
+		best := 0
+		for ti, n := range votes {
+			if n > best || (n == best && (target == -1 || ti < target)) {
+				target, best = ti, n
+			}
+		}
+		if target < 0 {
+			if orphanIdx < 0 {
+				orphanIdx = len(med.Tables)
+				med.Tables = append(med.Tables, MediatedTable{
+					Name:    "UNASSIGNED",
+					Sources: map[string][]schema.ElementID{},
+				})
+			}
+			target = orphanIdx
+			// The orphan table draws its sources from the owning tables
+			// of the clustered attributes so UNION views stay renderable.
+			for _, id := range cluster {
+				owner := schema.TableID(id.Schema, id.Table)
+				if !containsID(med.Tables[target].Sources[id.Schema], owner) {
+					med.Tables[target].Sources[id.Schema] =
+						append(med.Tables[target].Sources[id.Schema], owner)
+				}
+			}
+		}
+		med.Tables[target].Columns = append(med.Tables[target].Columns, col)
+	}
+	return med
+}
+
+func containsID(ids []schema.ElementID, id schema.ElementID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// mediatedName picks the most frequent (then lexicographically smallest)
+// element name in a cluster as the global name.
+func mediatedName(cluster []schema.ElementID) string {
+	counts := map[string]int{}
+	for _, id := range cluster {
+		name := id.Table
+		if id.Kind == schema.KindAttribute {
+			name = id.Attribute
+		}
+		counts[strings.ToUpper(name)]++
+	}
+	best, bestN := "", 0
+	for name, n := range counts {
+		if n > bestN || (n == bestN && (best == "" || name < best)) {
+			best, bestN = name, n
+		}
+	}
+	return best
+}
+
+// UnionView renders a SQL view skeleton materialising one mediated table:
+// a UNION ALL over each contributing source table, projecting its
+// contributing columns under the mediated names and NULL-padding columns
+// the source lacks.
+func UnionView(mt MediatedTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE VIEW %s AS\n", sanitize(mt.Name))
+
+	// Deterministic source order.
+	type src struct {
+		schemaName string
+		table      string
+	}
+	var sources []src
+	for schemaName, tabs := range mt.Sources {
+		for _, t := range tabs {
+			sources = append(sources, src{schemaName, t.Table})
+		}
+	}
+	sort.Slice(sources, func(i, j int) bool {
+		if sources[i].schemaName != sources[j].schemaName {
+			return sources[i].schemaName < sources[j].schemaName
+		}
+		return sources[i].table < sources[j].table
+	})
+
+	for i, s := range sources {
+		if i > 0 {
+			b.WriteString("UNION ALL\n")
+		}
+		b.WriteString("SELECT ")
+		parts := make([]string, 0, len(mt.Columns))
+		for _, col := range mt.Columns {
+			expr := "NULL"
+			for _, attr := range col.Sources[s.schemaName] {
+				if strings.EqualFold(attr.Table, s.table) {
+					expr = sanitize(attr.Attribute)
+					break
+				}
+			}
+			parts = append(parts, fmt.Sprintf("%s AS %s", expr, sanitize(col.Name)))
+		}
+		if len(parts) == 0 {
+			parts = append(parts, "*")
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		fmt.Fprintf(&b, "\nFROM %s.%s\n", sanitize(s.schemaName), sanitize(s.table))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// sanitize quotes identifiers that are not plain words.
+func sanitize(ident string) string {
+	plain := true
+	for _, r := range ident {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		default:
+			plain = false
+		}
+	}
+	if plain && ident != "" {
+		return ident
+	}
+	return `"` + strings.ReplaceAll(ident, `"`, `""`) + `"`
+}

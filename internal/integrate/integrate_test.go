@@ -1,0 +1,158 @@
+package integrate
+
+import (
+	"strings"
+	"testing"
+
+	"collabscope/internal/datasets"
+	"collabscope/internal/match"
+	"collabscope/internal/schema"
+)
+
+// figure1Pairs converts the Figure-1 ground truth into matcher-style pairs.
+func figure1Pairs() ([]*schema.Schema, []match.Pair) {
+	fig := datasets.Figure1()
+	var pairs []match.Pair
+	for _, l := range fig.Truth.Linkages() {
+		pairs = append(pairs, match.Pair{A: l.A, B: l.B})
+	}
+	return fig.Schemas, pairs
+}
+
+func TestComponents(t *testing.T) {
+	_, pairs := figure1Pairs()
+	tables, attrs := Components(pairs)
+	// Tables: CLIENT ~ CUSTOMER ~ BUYER ~ SHIPMENTS form one component.
+	if len(tables) != 1 {
+		t.Fatalf("table clusters = %d, want 1", len(tables))
+	}
+	if len(tables[0]) != 4 {
+		t.Fatalf("customer cluster = %v", tables[0])
+	}
+	// Attributes: ids {CID,CID,BID,SHIPMENTS.CID}, names
+	// {NAME,FIRST,LAST,CNAME}, locations {ADDRESS,CITY,CITY}.
+	if len(attrs) != 3 {
+		t.Fatalf("attribute clusters = %d, want 3: %v", len(attrs), attrs)
+	}
+	sizes := []int{len(attrs[0]), len(attrs[1]), len(attrs[2])}
+	total := sizes[0] + sizes[1] + sizes[2]
+	if total != 11 {
+		t.Fatalf("clustered attributes = %d, want 11 (sizes %v)", total, sizes)
+	}
+}
+
+func TestComponentsDeterministic(t *testing.T) {
+	_, pairs := figure1Pairs()
+	t1, a1 := Components(pairs)
+	// Reversed input order must give identical output.
+	rev := make([]match.Pair, len(pairs))
+	for i, p := range pairs {
+		rev[len(pairs)-1-i] = match.Pair{A: p.B, B: p.A}
+	}
+	t2, a2 := Components(rev)
+	if len(t1) != len(t2) || len(a1) != len(a2) {
+		t.Fatal("cluster counts differ")
+	}
+	for i := range a1 {
+		if len(a1[i]) != len(a2[i]) {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+		for j := range a1[i] {
+			if a1[i][j] != a2[i][j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestComponentsIgnoresCrossKindAndSingletons(t *testing.T) {
+	pairs := []match.Pair{
+		{A: schema.TableID("A", "T"), B: schema.AttributeID("B", "U", "x")},
+	}
+	tables, attrs := Components(pairs)
+	if len(tables) != 0 || len(attrs) != 0 {
+		t.Fatalf("cross-kind pair produced clusters: %v %v", tables, attrs)
+	}
+}
+
+func TestBuildMediated(t *testing.T) {
+	schemas, pairs := figure1Pairs()
+	med := Build(schemas, pairs)
+	if len(med.Tables) != 1 {
+		t.Fatalf("mediated tables = %d, want 1", len(med.Tables))
+	}
+	mt := med.Tables[0]
+	// Most frequent table name in the cluster wins; all four names are
+	// unique so the lexicographically smallest is picked.
+	if mt.Name != "BUYER" {
+		t.Fatalf("mediated name = %q", mt.Name)
+	}
+	if len(mt.Columns) != 3 {
+		t.Fatalf("mediated columns = %d, want 3", len(mt.Columns))
+	}
+	if len(mt.Sources) != 3 {
+		t.Fatalf("source schemas = %d, want 3 (S1, S2, S3)", len(mt.Sources))
+	}
+	// CID appears three times across the cluster → the id column is CID.
+	foundCID := false
+	for _, col := range mt.Columns {
+		if col.Name == "CID" {
+			foundCID = true
+		}
+	}
+	if !foundCID {
+		t.Fatalf("expected a CID column, got %+v", mt.Columns)
+	}
+}
+
+func TestBuildOrphanAttributes(t *testing.T) {
+	// Attribute pairs with no table pairs land in the UNASSIGNED table.
+	pairs := []match.Pair{
+		{A: schema.AttributeID("A", "T1", "x"), B: schema.AttributeID("B", "T2", "y")},
+	}
+	med := Build(nil, pairs)
+	if len(med.Tables) != 1 || med.Tables[0].Name != "UNASSIGNED" {
+		t.Fatalf("mediated = %+v", med)
+	}
+	if len(med.Tables[0].Columns) != 1 {
+		t.Fatalf("columns = %+v", med.Tables[0].Columns)
+	}
+}
+
+func TestUnionView(t *testing.T) {
+	schemas, pairs := figure1Pairs()
+	med := Build(schemas, pairs)
+	sql := UnionView(med.Tables[0])
+	if !strings.HasPrefix(sql, "CREATE VIEW BUYER AS") {
+		t.Fatalf("view header wrong:\n%s", sql)
+	}
+	if strings.Count(sql, "UNION ALL") != 3 {
+		t.Fatalf("want 3 UNION ALL (4 sources):\n%s", sql)
+	}
+	// S2.SHIPMENTS contributes CID and CITY but has no name column →
+	// its branch NULL-pads the name column.
+	if !strings.Contains(sql, "FROM S2.SHIPMENTS") {
+		t.Fatalf("missing SHIPMENTS branch:\n%s", sql)
+	}
+	if !strings.Contains(sql, "NULL AS ") {
+		t.Fatalf("expected NULL padding:\n%s", sql)
+	}
+	if !strings.Contains(sql, "AS CID") {
+		t.Fatalf("expected CID projection:\n%s", sql)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("plain_name1") != "plain_name1" {
+		t.Fatal("plain identifiers must pass through")
+	}
+	if got := sanitize("weird name"); got != `"weird name"` {
+		t.Fatalf("quoted = %q", got)
+	}
+	if got := sanitize(`has"quote`); got != `"has""quote"` {
+		t.Fatalf("escaped = %q", got)
+	}
+	if got := sanitize(""); got != `""` {
+		t.Fatalf("empty = %q", got)
+	}
+}

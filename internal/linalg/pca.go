@@ -1,0 +1,86 @@
+package linalg
+
+// PCA is a fitted principal-component-analysis encoder-decoder: the mean of
+// the training rows and the top-n principal components selected so that the
+// cumulative explained variance reaches a target (Algorithm 1 of the paper).
+//
+// Encoding projects mean-centred rows onto the components; decoding maps
+// latent codes back and re-adds the mean. The reconstruction MSE of a row is
+// its outlier score.
+type PCA struct {
+	Mean       []float64 // μ: column mean of the training matrix
+	Components *Dense    // n×d principal components (rows)
+	Singular   []float64 // all singular values of the training matrix
+	Explained  []float64 // per-component explained-variance ratios
+	Cumulative []float64 // cumulative explained variance
+	NComp      int       // number of retained components
+}
+
+// FitPCA computes the full SVD of the mean-centred rows of x and retains the
+// leading components whose cumulative explained variance reaches at least
+// variance ∈ (0, 1]. It implements lines 3-10 of Algorithm 1.
+func FitPCA(x *Dense, variance float64) *PCA {
+	mean := x.ColMean()
+	centered := x.SubRow(mean)
+	dec := ComputeSVD(centered)
+	ev := ExplainedVariance(dec.S)
+	cev := CumulativeSum(ev)
+	n := ComponentsForVariance(cev, variance)
+	full := dec.Components()
+	comp := NewDense(n, x.Cols())
+	for i := 0; i < n; i++ {
+		copy(comp.RowView(i), full.RowView(i))
+	}
+	return &PCA{
+		Mean:       mean,
+		Components: comp,
+		Singular:   dec.S,
+		Explained:  ev,
+		Cumulative: cev,
+		NComp:      n,
+	}
+}
+
+// Truncate returns a copy of the fitted PCA re-truncated to the number of
+// components required for the given cumulative explained variance. The SVD
+// is not recomputed, making variance sweeps cheap.
+func (p *PCA) Truncate(variance float64) *PCA {
+	n := ComponentsForVariance(p.Cumulative, variance)
+	if n > p.Components.Rows() {
+		n = p.Components.Rows()
+	}
+	comp := NewDense(n, len(p.Mean))
+	for i := 0; i < n; i++ {
+		copy(comp.RowView(i), p.Components.RowView(i))
+	}
+	return &PCA{
+		Mean:       p.Mean,
+		Components: comp,
+		Singular:   p.Singular,
+		Explained:  p.Explained,
+		Cumulative: p.Cumulative,
+		NComp:      n,
+	}
+}
+
+// Encode projects the rows of x into the latent space: (x − μ)·PCᵀ.
+func (p *PCA) Encode(x *Dense) *Dense {
+	return x.SubRow(p.Mean).Mul(p.Components.T())
+}
+
+// Decode maps latent codes back to the original space: z·PC + μ.
+func (p *PCA) Decode(z *Dense) *Dense {
+	return z.Mul(p.Components).AddRow(p.Mean)
+}
+
+// Reconstruct encodes and decodes the rows of x.
+func (p *PCA) Reconstruct(x *Dense) *Dense {
+	return p.Decode(p.Encode(x))
+}
+
+// ReconstructionErrors returns the per-row MSE between x and its
+// reconstruction — the outlier scores of Algorithm 1 line 14 and
+// Definition 4.
+func (p *PCA) ReconstructionErrors(x *Dense) []float64 {
+	return RowMSE(x, p.Reconstruct(x))
+}

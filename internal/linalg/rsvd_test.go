@@ -1,0 +1,142 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowRankMatrix builds rows = coefficients × k basis vectors + noise.
+func lowRankMatrix(r *rand.Rand, rows, cols, rank int, noise float64) *Dense {
+	basis := make([][]float64, rank)
+	for b := range basis {
+		basis[b] = make([]float64, cols)
+		for j := range basis[b] {
+			basis[b][j] = r.NormFloat64()
+		}
+	}
+	x := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := x.RowView(i)
+		for b := 0; b < rank; b++ {
+			coeff := r.NormFloat64() * float64(rank-b) // decaying spectrum
+			AxpyInPlace(coeff, basis[b], row)
+		}
+		for j := range row {
+			row[j] += r.NormFloat64() * noise
+		}
+	}
+	return x
+}
+
+func TestRandomizedSVDMatchesExactOnLowRank(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x := lowRankMatrix(r, 60, 40, 4, 0.001)
+	exact := ComputeSVD(x)
+	approx := RandomizedSVD(x, 4, 8, 2, 1)
+	if len(approx.S) != 4 {
+		t.Fatalf("components = %d", len(approx.S))
+	}
+	for i := 0; i < 4; i++ {
+		rel := math.Abs(approx.S[i]-exact.S[i]) / exact.S[i]
+		if rel > 0.01 {
+			t.Fatalf("singular value %d off by %.2f%%: %v vs %v", i, 100*rel, approx.S[i], exact.S[i])
+		}
+	}
+	// Leading subspaces agree: |v_approx · v_exact| ≈ 1 per component.
+	for i := 0; i < 4; i++ {
+		dot := math.Abs(Dot(approx.V.Col(i), exact.V.Col(i)))
+		if dot < 0.98 {
+			t.Fatalf("component %d subspace mismatch: |dot| = %v", i, dot)
+		}
+	}
+}
+
+func TestRandomizedSVDFallsBackForFullRankRequest(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := randomMatrix(r, 8, 5)
+	full := RandomizedSVD(x, 0, 8, 2, 1) // rank 0 → exact
+	exact := ComputeSVD(x)
+	if len(full.S) != len(exact.S) {
+		t.Fatalf("fallback length %d vs %d", len(full.S), len(exact.S))
+	}
+	for i := range full.S {
+		if math.Abs(full.S[i]-exact.S[i]) > 1e-9 {
+			t.Fatal("fallback must be the exact decomposition")
+		}
+	}
+}
+
+func TestRandomizedSVDDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x := lowRankMatrix(r, 30, 20, 3, 0.01)
+	a := RandomizedSVD(x, 3, 8, 2, 42)
+	b := RandomizedSVD(x, 3, 8, 2, 42)
+	for i := range a.S {
+		if a.S[i] != b.S[i] {
+			t.Fatal("same seed must give identical results")
+		}
+	}
+}
+
+func TestFitPCAApproxReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	x := lowRankMatrix(r, 80, 50, 3, 0.001)
+	exact := FitPCA(x, 0.95)
+	approx := FitPCAApprox(x, 0.95, 10, 1)
+	// Both should need about the same number of components on a rank-3
+	// matrix and reconstruct comparably.
+	if approx.NComp > exact.NComp+1 {
+		t.Fatalf("approx needs %d components vs exact %d", approx.NComp, exact.NComp)
+	}
+	exErr := Mean(exact.ReconstructionErrors(x))
+	apErr := Mean(approx.ReconstructionErrors(x))
+	if apErr > exErr*1.5+1e-9 {
+		t.Fatalf("approx reconstruction error %v vs exact %v", apErr, exErr)
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	y := randomMatrix(r, 10, 4)
+	q := orthonormalize(y)
+	qtq := q.T().Mul(q)
+	for i := 0; i < qtq.Rows(); i++ {
+		for j := 0; j < qtq.Cols(); j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(qtq.At(i, j)-want) > 1e-9 {
+				t.Fatalf("QᵀQ[%d,%d] = %v", i, j, qtq.At(i, j))
+			}
+		}
+	}
+	// Dependent columns are dropped.
+	dup := NewDense(5, 2)
+	for i := 0; i < 5; i++ {
+		dup.Set(i, 0, float64(i))
+		dup.Set(i, 1, 2*float64(i))
+	}
+	if got := orthonormalize(dup); got.Cols() != 1 {
+		t.Fatalf("dependent columns kept: %d", got.Cols())
+	}
+}
+
+func BenchmarkExactSVD300x384(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := lowRankMatrix(r, 300, 384, 20, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeSVD(x)
+	}
+}
+
+func BenchmarkRandomizedSVD300x384(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := lowRankMatrix(r, 300, 384, 20, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomizedSVD(x, 32, 8, 2, 1)
+	}
+}

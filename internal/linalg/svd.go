@@ -1,0 +1,194 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition X = U·diag(S)·Vᵀ where X is
+// r×c, U is r×n, S has n entries in non-increasing order, and V is c×n with
+// orthonormal columns. n = min(r, c).
+//
+// The rows of Components (the transpose of V, n×c) are the right singular
+// vectors, i.e. the principal components when X is mean-centred — matching
+// the convention of Algorithm 1 in the paper, where signatures are encoded
+// as X·PCᵀ and decoded as Z·PC.
+type SVD struct {
+	U *Dense    // r×n left singular vectors
+	S []float64 // n singular values, descending
+	V *Dense    // c×n right singular vectors (columns)
+}
+
+// Components returns the principal components as an n×c matrix whose rows
+// are the right singular vectors in order of decreasing singular value.
+func (d *SVD) Components() *Dense { return d.V.T() }
+
+// ComputeSVD computes a thin SVD of x using the one-sided Jacobi method on
+// the side with fewer columns. It is accurate for the small dense matrices
+// used in schema scoping.
+func ComputeSVD(x *Dense) *SVD {
+	r, c := x.Rows(), x.Cols()
+	if r == 0 || c == 0 {
+		return &SVD{U: NewDense(r, 0), S: nil, V: NewDense(c, 0)}
+	}
+	if r >= c {
+		u, s, v := jacobiSVD(x)
+		return &SVD{U: u, S: s, V: v}
+	}
+	// For wide matrices decompose the transpose: Xᵀ = U'·S·V'ᵀ implies
+	// X = V'·S·U'ᵀ, so U = V' and V = U'.
+	u, s, v := jacobiSVD(x.T())
+	return &SVD{U: v, S: s, V: u}
+}
+
+// jacobiSVD computes the thin SVD of a tall (r ≥ c) matrix via one-sided
+// Jacobi rotations applied to the columns of a working copy of x.
+func jacobiSVD(x *Dense) (u *Dense, s []float64, v *Dense) {
+	r, c := x.Rows(), x.Cols()
+	a := x.Clone() // columns converge to U·diag(S)
+	vm := identity(c)
+
+	const (
+		maxSweeps = 60
+		tol       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < c-1; p++ {
+			for q := p + 1; q < c; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < r; i++ {
+					ap := a.data[i*c+p]
+					aq := a.data[i*c+q]
+					alpha += ap * ap
+					beta += aq * aq
+					gamma += ap * aq
+				}
+				if alpha == 0 || beta == 0 {
+					continue
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off++
+				// Jacobi rotation zeroing the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta > 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				cs := 1 / math.Sqrt(1+t*t)
+				sn := cs * t
+				for i := 0; i < r; i++ {
+					ap := a.data[i*c+p]
+					aq := a.data[i*c+q]
+					a.data[i*c+p] = cs*ap - sn*aq
+					a.data[i*c+q] = sn*ap + cs*aq
+				}
+				for i := 0; i < c; i++ {
+					vp := vm.data[i*c+p]
+					vq := vm.data[i*c+q]
+					vm.data[i*c+p] = cs*vp - sn*vq
+					vm.data[i*c+q] = sn*vp + cs*vq
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Extract singular values as column norms of the rotated matrix and
+	// normalise columns into U.
+	s = make([]float64, c)
+	u = NewDense(r, c)
+	for j := 0; j < c; j++ {
+		var n float64
+		for i := 0; i < r; i++ {
+			v := a.data[i*c+j]
+			n += v * v
+		}
+		n = math.Sqrt(n)
+		s[j] = n
+		if n > 0 {
+			inv := 1 / n
+			for i := 0; i < r; i++ {
+				u.data[i*c+j] = a.data[i*c+j] * inv
+			}
+		}
+	}
+
+	// Sort singular values descending, permuting U and V accordingly.
+	idx := make([]int, c)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	sSorted := make([]float64, c)
+	uSorted := NewDense(r, c)
+	vSorted := NewDense(c, c)
+	for newJ, oldJ := range idx {
+		sSorted[newJ] = s[oldJ]
+		for i := 0; i < r; i++ {
+			uSorted.data[i*c+newJ] = u.data[i*c+oldJ]
+		}
+		for i := 0; i < c; i++ {
+			vSorted.data[i*c+newJ] = vm.data[i*c+oldJ]
+		}
+	}
+	return uSorted, sSorted, vSorted
+}
+
+func identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// ExplainedVariance returns the per-component explained-variance ratios
+// ev_i = s_i² / Σ s_j² for singular values s (Algorithm 1, lines 6-7).
+func ExplainedVariance(s []float64) []float64 {
+	out := make([]float64, len(s))
+	var sum float64
+	for _, v := range s {
+		sum += v * v
+	}
+	if sum == 0 {
+		return out
+	}
+	for i, v := range s {
+		out[i] = v * v / sum
+	}
+	return out
+}
+
+// CumulativeSum returns the running sum of v (Algorithm 1, line 8).
+func CumulativeSum(v []float64) []float64 {
+	out := make([]float64, len(v))
+	var s float64
+	for i, x := range v {
+		s += x
+		out[i] = s
+	}
+	return out
+}
+
+// ComponentsForVariance returns the number of leading principal components
+// needed so that the cumulative explained variance reaches at least v
+// (Algorithm 1, line 9). It always returns at least 1 when any component
+// exists, and never more than len(cev).
+func ComponentsForVariance(cev []float64, v float64) int {
+	if len(cev) == 0 {
+		return 0
+	}
+	for i, c := range cev {
+		if c >= v {
+			return i + 1
+		}
+	}
+	return len(cev)
+}

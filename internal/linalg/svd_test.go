@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func reconstructSVD(d *SVD) *Dense {
+	n := len(d.S)
+	us := d.U.Clone()
+	for j := 0; j < n; j++ {
+		for i := 0; i < us.Rows(); i++ {
+			us.Set(i, j, us.At(i, j)*d.S[j])
+		}
+	}
+	return us.Mul(d.V.T())
+}
+
+func TestSVDReconstructsTall(t *testing.T) {
+	x := FromRows([][]float64{
+		{1, 0, 0},
+		{0, 2, 0},
+		{0, 0, 3},
+		{1, 1, 1},
+	})
+	d := ComputeSVD(x)
+	if got := MaxAbsDiff(reconstructSVD(d), x); got > 1e-9 {
+		t.Fatalf("reconstruction error %v", got)
+	}
+}
+
+func TestSVDReconstructsWide(t *testing.T) {
+	x := FromRows([][]float64{
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+	})
+	d := ComputeSVD(x)
+	if len(d.S) != 2 {
+		t.Fatalf("thin SVD of 2x5 should have 2 values, got %d", len(d.S))
+	}
+	if got := MaxAbsDiff(reconstructSVD(d), x); got > 1e-9 {
+		t.Fatalf("reconstruction error %v", got)
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) has singular values 3, 2 in descending order.
+	x := FromRows([][]float64{{3, 0}, {0, 2}})
+	d := ComputeSVD(x)
+	if !almostEqual(d.S[0], 3, 1e-10) || !almostEqual(d.S[1], 2, 1e-10) {
+		t.Fatalf("S = %v, want [3 2]", d.S)
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	d := ComputeSVD(NewDense(0, 5))
+	if len(d.S) != 0 {
+		t.Fatalf("S = %v", d.S)
+	}
+}
+
+func TestSVDOrthonormalV(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x := randomMatrix(r, 10, 6)
+	d := ComputeSVD(x)
+	vtv := d.V.T().Mul(d.V)
+	for i := 0; i < vtv.Rows(); i++ {
+		for j := 0; j < vtv.Cols(); j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(vtv.At(i, j)-want) > 1e-9 {
+				t.Fatalf("VᵀV[%d,%d] = %v", i, j, vtv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSVDSingularValuesDescending(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	x := randomMatrix(r, 12, 7)
+	d := ComputeSVD(x)
+	for i := 1; i < len(d.S); i++ {
+		if d.S[i] > d.S[i-1]+1e-12 {
+			t.Fatalf("S not descending: %v", d.S)
+		}
+	}
+}
+
+// Property: SVD reconstructs random matrices and all singular values are
+// non-negative.
+func TestSVDReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(12), 1+r.Intn(12)
+		x := randomMatrix(r, rows, cols)
+		d := ComputeSVD(x)
+		for _, s := range d.S {
+			if s < 0 {
+				return false
+			}
+		}
+		return MaxAbsDiff(reconstructSVD(d), x) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainedVariance(t *testing.T) {
+	ev := ExplainedVariance([]float64{3, 4}) // squares 9, 16; sum 25
+	if !almostEqual(ev[0], 0.36, 1e-12) || !almostEqual(ev[1], 0.64, 1e-12) {
+		t.Fatalf("EV = %v", ev)
+	}
+	if got := ExplainedVariance([]float64{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("zero EV = %v", got)
+	}
+}
+
+func TestCumulativeSum(t *testing.T) {
+	got := CumulativeSum([]float64{0.5, 0.3, 0.2})
+	if !almostEqual(got[0], 0.5, 1e-12) || !almostEqual(got[1], 0.8, 1e-12) || !almostEqual(got[2], 1.0, 1e-12) {
+		t.Fatalf("CumulativeSum = %v", got)
+	}
+}
+
+func TestComponentsForVariance(t *testing.T) {
+	cev := []float64{0.5, 0.8, 0.95, 1.0}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0.3, 1}, {0.5, 1}, {0.7, 2}, {0.9, 3}, {0.99, 4}, {1.0, 4},
+	}
+	for _, c := range cases {
+		if got := ComponentsForVariance(cev, c.v); got != c.want {
+			t.Errorf("ComponentsForVariance(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if ComponentsForVariance(nil, 0.5) != 0 {
+		t.Fatal("empty cev should give 0")
+	}
+}

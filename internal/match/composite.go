@@ -1,0 +1,53 @@
+package match
+
+import (
+	"fmt"
+
+	"collabscope/internal/embed"
+	"collabscope/internal/linalg"
+)
+
+// Composite is a COMA-style aggregate matcher: it combines the lexical name
+// similarity and the semantic signature similarity of a pair into a
+// weighted score and keeps pairs above a threshold. Aggregating multiple
+// base matchers is the classic recipe of COMA / COMA++ that the paper cites
+// among the element-wise algorithms packaged in Valentine.
+type Composite struct {
+	// Threshold is the minimum combined score, e.g. 0.5.
+	Threshold float64
+	// NameWeight ∈ [0, 1] weighs lexical name similarity against semantic
+	// signature similarity (1 − NameWeight). 0.4 if zero.
+	NameWeight float64
+}
+
+// Name implements Matcher.
+func (c Composite) Name() string { return fmt.Sprintf("COMA(%.1f)", c.Threshold) }
+
+// Match implements Matcher.
+func (c Composite) Match(a, b *embed.SignatureSet) []Pair {
+	w := c.NameWeight
+	if w <= 0 {
+		w = 0.4
+	}
+	if w > 1 {
+		w = 1
+	}
+	var out []Pair
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			ia, ib := a.IDs[i], b.IDs[j]
+			if ia.Kind != ib.Kind {
+				continue
+			}
+			name := NameSimilarity(elementName(ia), elementName(ib))
+			sig := linalg.CosineSimilarity(a.Matrix.RowView(i), b.Matrix.RowView(j))
+			if sig < 0 {
+				sig = 0
+			}
+			if w*name+(1-w)*sig >= c.Threshold {
+				out = append(out, Pair{A: ia, B: ib}.Canonical())
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package match
+
+import (
+	"fmt"
+	"strings"
+
+	"collabscope/internal/embed"
+	"collabscope/internal/schema"
+	"collabscope/internal/token"
+)
+
+// Levenshtein returns the edit distance between two strings.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSimilarity normalises the edit distance into [0, 1].
+func LevenshteinSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// TrigramJaccard returns the Jaccard similarity of the padded character
+// trigram sets of two lower-cased strings.
+func TrigramJaccard(a, b string) float64 {
+	ga := trigramSet(strings.ToLower(a))
+	gb := trigramSet(strings.ToLower(b))
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range ga {
+		if gb[g] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func trigramSet(s string) map[string]bool {
+	padded := "^" + s + "$"
+	out := map[string]bool{}
+	for i := 0; i+3 <= len(padded); i++ {
+		out[padded[i:i+3]] = true
+	}
+	return out
+}
+
+// NameSimilarity scores two element names with the max of normalised
+// Levenshtein on the raw identifiers and trigram Jaccard on the normalised
+// token join — the classic schema-based string similarity the paper
+// contrasts with signature-based matching (§2.2).
+func NameSimilarity(a, b string) float64 {
+	lev := LevenshteinSimilarity(strings.ToLower(a), strings.ToLower(b))
+	ja := TrigramJaccard(strings.Join(token.Normalize(a), " "), strings.Join(token.Normalize(b), " "))
+	if ja > lev {
+		return ja
+	}
+	return lev
+}
+
+// NameMatcher links same-kind elements whose NAME similarity reaches the
+// threshold, ignoring signatures entirely. It demonstrates the labeling-
+// conflict failure mode of purely lexical matching (CNAME of a car matches
+// CNAME of a customer).
+type NameMatcher struct {
+	// Threshold is the minimum name similarity, e.g. 0.7.
+	Threshold float64
+}
+
+// Name implements Matcher.
+func (n NameMatcher) Name() string { return fmt.Sprintf("NAME(%.1f)", n.Threshold) }
+
+// Match implements Matcher.
+func (n NameMatcher) Match(a, b *embed.SignatureSet) []Pair {
+	var out []Pair
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			ia, ib := a.IDs[i], b.IDs[j]
+			if ia.Kind != ib.Kind {
+				continue
+			}
+			if NameSimilarity(elementName(ia), elementName(ib)) >= n.Threshold {
+				out = append(out, Pair{A: ia, B: ib}.Canonical())
+			}
+		}
+	}
+	return out
+}
+
+// elementName returns the lexical name of an element (attribute name or
+// table name).
+func elementName(id schema.ElementID) string {
+	if id.Kind == schema.KindAttribute {
+		return id.Attribute
+	}
+	return id.Table
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Interval is a percentile bootstrap confidence interval around a point
+// estimate.
+type Interval struct {
+	Point, Low, High float64
+}
+
+// BootstrapAUCROC estimates a percentile confidence interval for the
+// AUC-ROC of a continuous score by resampling the (score, label) pairs with
+// replacement. level is the confidence level (e.g. 0.95), rounds the number
+// of bootstrap resamples (e.g. 1000). Resamples that lack one of the two
+// classes are skipped; with single-class input the interval degenerates to
+// the point estimate.
+func BootstrapAUCROC(scores []float64, labels []bool, rounds int, level float64, seed int64) Interval {
+	point := TrapezoidAUC(ROCFromScores(scores, labels))
+	out := Interval{Point: point, Low: point, High: point}
+	n := len(scores)
+	if n == 0 || rounds <= 0 || level <= 0 || level >= 1 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var samples []float64
+	rs := make([]float64, n)
+	rl := make([]bool, n)
+	for b := 0; b < rounds; b++ {
+		pos := false
+		neg := false
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			rs[i] = scores[j]
+			rl[i] = labels[j]
+			if rl[i] {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		if !pos || !neg {
+			continue
+		}
+		samples = append(samples, TrapezoidAUC(ROCFromScores(rs, rl)))
+	}
+	if len(samples) == 0 {
+		return out
+	}
+	sort.Float64s(samples)
+	alpha := (1 - level) / 2
+	out.Low = quantile(samples, alpha)
+	out.High = quantile(samples, 1-alpha)
+	return out
+}
+
+// quantile returns the q-th sample quantile of sorted values by linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,280 @@
+// Package metrics provides the binary-classification and curve metrics used
+// to evaluate scoping (Section 4.2 of the paper): accuracy, precision,
+// recall, F1, ROC and precision-recall curves, trapezoid AUC, the
+// monotonically sorted and spline-smoothed ROC′ with its normalised
+// AUC-ROC′, and AUC-F1 over hyperparameter sweeps.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"collabscope/internal/spline"
+)
+
+// Confusion is a binary confusion matrix. Positives are linkable elements.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe adds one prediction/label pair.
+func (c *Confusion) Observe(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of observations.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN) — the true positive rate — or 0 when there are
+// no actual positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns FP/(FP+TN) — the false positive rate — or 0 when there are no
+// actual negatives.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when both are 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Point is a 2-d curve point.
+type Point struct {
+	X, Y float64
+}
+
+// ROCFromScores builds the ROC curve of a continuous score where HIGHER
+// means MORE POSITIVE (more linkable). The returned points run from (0,0)
+// to (1,1) with X = FPR and Y = TPR as the decision threshold decreases.
+func ROCFromScores(scores []float64, labels []bool) []Point {
+	idx := scoreOrder(scores)
+	var pos, neg int
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	points := []Point{{0, 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		// Advance over score ties together so the curve is well-defined.
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, Point{X: rate(fp, neg), Y: rate(tp, pos)})
+		i = j
+	}
+	last := points[len(points)-1]
+	if last.X != 1 || last.Y != 1 {
+		points = append(points, Point{1, 1})
+	}
+	return points
+}
+
+// PRFromScores builds the precision-recall curve of a continuous score
+// where higher means more positive. X = recall, Y = precision, ordered by
+// increasing recall.
+func PRFromScores(scores []float64, labels []bool) []Point {
+	idx := scoreOrder(scores)
+	var pos int
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	var points []Point
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		var prec float64
+		if tp+fp > 0 {
+			prec = float64(tp) / float64(tp+fp)
+		}
+		points = append(points, Point{X: rate(tp, pos), Y: prec})
+		i = j
+	}
+	if len(points) == 0 {
+		return []Point{{0, 1}, {1, 0}}
+	}
+	// Anchor at (recall 0, precision 1), the scikit-learn
+	// precision_recall_curve convention the paper's notebook relies on.
+	points = append([]Point{{0, 1}}, points...)
+	return points
+}
+
+// scoreOrder returns indices sorted by descending score.
+func scoreOrder(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// TrapezoidAUC integrates a curve by the trapezoid rule after sorting by X.
+// Duplicate X values keep their order (vertical segments contribute no
+// area). The result is NOT normalised to the X span.
+func TrapezoidAUC(points []Point) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	ps := append([]Point(nil), points...)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].X < ps[j].X })
+	var auc float64
+	for i := 1; i < len(ps); i++ {
+		dx := ps[i].X - ps[i-1].X
+		auc += dx * (ps[i].Y + ps[i-1].Y) / 2
+	}
+	return auc
+}
+
+// Monotone sorts points by X and replaces each Y with the running maximum,
+// then collapses duplicate X values keeping the highest Y. This is the
+// "monotonically sorted" ROC of the paper's AUC-ROC′.
+func Monotone(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	ps := append([]Point(nil), points...)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].X < ps[j].X })
+	var out []Point
+	best := math.Inf(-1)
+	for _, p := range ps {
+		if p.Y > best {
+			best = p.Y
+		}
+		if len(out) > 0 && out[len(out)-1].X == p.X {
+			out[len(out)-1].Y = best
+			continue
+		}
+		out = append(out, Point{X: p.X, Y: best})
+	}
+	return out
+}
+
+// Envelope sorts points by X and keeps, for each distinct X, the maximum Y
+// — the upper envelope of a scattered curve. Unlike Monotone it does not
+// force Y to be non-decreasing, which would be wrong for precision-recall
+// observations.
+func Envelope(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	ps := append([]Point(nil), points...)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].X < ps[j].X })
+	var out []Point
+	for _, p := range ps {
+		if len(out) > 0 && out[len(out)-1].X == p.X {
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1].Y = p.Y
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SmoothedROCAUC computes the paper's AUC-ROC′: the ROC points are
+// monotonically sorted, interpolated with a penalised cubic smoothing
+// spline, integrated over the observed FPR range, and normalised by that
+// range — so a model whose FPR never reaches 100 % (a favourable property
+// of collaborative scoping) is not penalised for the unreachable region.
+// lambda controls the smoothing strength (the analogue of splrep's s=0.2).
+func SmoothedROCAUC(points []Point, lambda float64) float64 {
+	mono := Monotone(points)
+	if len(mono) == 0 {
+		return 0
+	}
+	lo, hi := mono[0].X, mono[len(mono)-1].X
+	if hi-lo < 1e-12 {
+		return mono[len(mono)-1].Y
+	}
+	if len(mono) < 3 {
+		return TrapezoidAUC(mono) / (hi - lo)
+	}
+	xs := make([]float64, len(mono))
+	ys := make([]float64, len(mono))
+	for i, p := range mono {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	sp, err := spline.Fit(xs, ys, lambda)
+	if err != nil {
+		return TrapezoidAUC(mono) / (hi - lo)
+	}
+	auc := sp.Integrate(lo, hi) / (hi - lo)
+	// Smoothing can overshoot slightly; clamp to the meaningful range.
+	return math.Max(0, math.Min(1, auc))
+}
+
+// SweepAUC integrates metric values observed over a hyperparameter grid
+// spanning [0, 1] (the paper's AUC-F1 across p ∈ (0..1) or v ∈ (1..0)).
+// Points are (parameter, value) pairs; the result is the trapezoid area,
+// which for a [0, 1] grid equals the mean value.
+func SweepAUC(points []Point) float64 {
+	return TrapezoidAUC(points)
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FP
+	c.Observe(false, false) // TN
+	c.Observe(false, true)  // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 || c.Total() != 4 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Accuracy() != 0.5 || c.Precision() != 0.5 || c.Recall() != 0.5 || c.FPR() != 0.5 {
+		t.Fatalf("metrics = acc %v prec %v rec %v fpr %v",
+			c.Accuracy(), c.Precision(), c.Recall(), c.FPR())
+	}
+	if c.F1() != 0.5 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.FPR() != 0 {
+		t.Fatal("empty confusion should be all zeros")
+	}
+	c.Observe(false, true)
+	if c.Precision() != 0 || c.FPR() != 0 {
+		t.Fatal("no predicted positives / no negatives should be 0")
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	roc := ROCFromScores(scores, labels)
+	if got := TrapezoidAUC(roc); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	roc := ROCFromScores(scores, labels)
+	if got := TrapezoidAUC(roc); math.Abs(got) > 1e-12 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2) == 0
+	}
+	auc := TrapezoidAUC(ROCFromScores(scores, labels))
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUC = %v, want ≈ 0.5", auc)
+	}
+}
+
+func TestROCHandlesTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	roc := ROCFromScores(scores, labels)
+	// All ties collapse into one step: (0,0) → (1,1).
+	if len(roc) != 2 || roc[1].X != 1 || roc[1].Y != 1 {
+		t.Fatalf("tied ROC = %v", roc)
+	}
+	if got := TrapezoidAUC(roc); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+}
+
+func TestPRPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	pr := PRFromScores(scores, labels)
+	if got := TrapezoidAUC(pr); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect AUC-PR = %v, curve %v", got, pr)
+	}
+}
+
+func TestPRAllNegativePredictions(t *testing.T) {
+	pr := PRFromScores(nil, nil)
+	if got := TrapezoidAUC(pr); got < 0 || got > 1 {
+		t.Fatalf("degenerate AUC-PR = %v", got)
+	}
+}
+
+func TestTrapezoidAUC(t *testing.T) {
+	// Triangle: (0,0) (1,1) (2,0) → area 1.
+	pts := []Point{{0, 0}, {2, 0}, {1, 1}}
+	if got := TrapezoidAUC(pts); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("AUC = %v", got)
+	}
+	if TrapezoidAUC([]Point{{0, 1}}) != 0 {
+		t.Fatal("single point AUC should be 0")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	pts := []Point{{0.5, 0.4}, {0.1, 0.7}, {0.5, 0.9}, {0.8, 0.2}, {0.1, 0.3}}
+	mono := Monotone(pts)
+	// X strictly increasing, Y non-decreasing.
+	for i := 1; i < len(mono); i++ {
+		if mono[i].X <= mono[i-1].X {
+			t.Fatalf("X not strictly increasing: %v", mono)
+		}
+		if mono[i].Y < mono[i-1].Y {
+			t.Fatalf("Y decreasing: %v", mono)
+		}
+	}
+	// The max Y at X=0.1 was 0.7; at 0.5 running max is 0.9.
+	if mono[0].Y != 0.7 || mono[1].Y != 0.9 {
+		t.Fatalf("mono = %v", mono)
+	}
+	if Monotone(nil) != nil {
+		t.Fatal("empty monotone should be nil")
+	}
+}
+
+func TestSmoothedROCAUCNormalisesTruncatedCurve(t *testing.T) {
+	// A steep curve that never exceeds FPR 0.5: raw trapezoid AUC over
+	// [0,1] is small, but the normalised smoothed AUC recognises the
+	// early convergence to TPR 1.
+	pts := []Point{{0, 0}, {0.05, 0.8}, {0.1, 0.95}, {0.2, 1}, {0.5, 1}}
+	raw := TrapezoidAUC(pts)
+	smoothed := SmoothedROCAUC(pts, 0.001)
+	if smoothed <= raw {
+		t.Fatalf("smoothed %v should exceed raw %v for truncated curves", smoothed, raw)
+	}
+	if smoothed < 0.8 || smoothed > 1 {
+		t.Fatalf("smoothed = %v, want in [0.8, 1]", smoothed)
+	}
+}
+
+func TestSmoothedROCAUCDegenerate(t *testing.T) {
+	if got := SmoothedROCAUC(nil, 0.1); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// Single X value: returns the max TPR.
+	if got := SmoothedROCAUC([]Point{{0.3, 0.6}, {0.3, 0.9}}, 0.1); got != 0.9 {
+		t.Fatalf("single-x = %v", got)
+	}
+	// Two points: trapezoid normalised.
+	got := SmoothedROCAUC([]Point{{0, 0}, {1, 1}}, 0.1)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("two-point = %v", got)
+	}
+}
+
+func TestSweepAUCIsMeanOverUnitGrid(t *testing.T) {
+	// Constant F1 = 0.6 over p ∈ [0,1] integrates to 0.6.
+	var pts []Point
+	for p := 0.0; p <= 1.0001; p += 0.1 {
+		pts = append(pts, Point{p, 0.6})
+	}
+	if got := SweepAUC(pts); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("SweepAUC = %v", got)
+	}
+}
+
+// Property: AUC of any score/label set is within [0, 1], and flipping all
+// scores flips AUC around 0.5 (up to tie effects, exact with unique scores).
+func TestAUCBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		hasPos, hasNeg := false, false
+		for i := range scores {
+			scores[i] = float64(i) + r.Float64()*0.5 // unique
+			labels[i] = r.Intn(2) == 0
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		auc := TrapezoidAUC(ROCFromScores(scores, labels))
+		if auc < -1e-9 || auc > 1+1e-9 {
+			return false
+		}
+		flipped := make([]float64, n)
+		for i, s := range scores {
+			flipped[i] = -s
+		}
+		aucFlip := TrapezoidAUC(ROCFromScores(flipped, labels))
+		return math.Abs(auc+aucFlip-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Monotone output is monotone for arbitrary inputs.
+func TestMonotoneProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		pts := make([]Point, 0, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+				continue
+			}
+			pts = append(pts, Point{xs[i], ys[i]})
+		}
+		mono := Monotone(pts)
+		for i := 1; i < len(mono); i++ {
+			if mono[i].X <= mono[i-1].X || mono[i].Y < mono[i-1].Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

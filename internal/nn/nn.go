@@ -1,0 +1,316 @@
+// Package nn is a small dense-feed-forward neural network substrate with
+// backpropagation and the Adam optimiser, sufficient to reproduce the
+// paper's autoencoder baseline (a fully dense 768|100|10|100|768 network
+// with ReLU activations trained on mean-squared error).
+//
+// Everything is deterministic: weight initialisation and mini-batch
+// shuffling derive from caller-provided seeds.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"collabscope/internal/linalg"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+)
+
+type layer struct {
+	in, out int
+	act     Activation
+	w       []float64 // out×in, row-major
+	b       []float64 // out
+
+	// Adam state.
+	mw, vw []float64
+	mb, vb []float64
+}
+
+// Network is a feed-forward stack of dense layers.
+type Network struct {
+	layers []*layer
+	step   int
+}
+
+// LayerSpec describes one dense layer.
+type LayerSpec struct {
+	Out int
+	Act Activation
+}
+
+// NewNetwork builds a network taking inputs of size in, with He-initialised
+// weights drawn from the given seed.
+func NewNetwork(in int, seed int64, specs ...LayerSpec) *Network {
+	if in <= 0 {
+		panic("nn: non-positive input size")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{}
+	prev := in
+	for _, spec := range specs {
+		if spec.Out <= 0 {
+			panic("nn: non-positive layer size")
+		}
+		l := &layer{
+			in: prev, out: spec.Out, act: spec.Act,
+			w:  make([]float64, spec.Out*prev),
+			b:  make([]float64, spec.Out),
+			mw: make([]float64, spec.Out*prev),
+			vw: make([]float64, spec.Out*prev),
+			mb: make([]float64, spec.Out),
+			vb: make([]float64, spec.Out),
+		}
+		scale := math.Sqrt(2 / float64(prev))
+		for i := range l.w {
+			l.w[i] = rng.NormFloat64() * scale
+		}
+		n.layers = append(n.layers, l)
+		prev = spec.Out
+	}
+	return n
+}
+
+// InputSize returns the expected input length.
+func (n *Network) InputSize() int {
+	if len(n.layers) == 0 {
+		return 0
+	}
+	return n.layers[0].in
+}
+
+// OutputSize returns the output length.
+func (n *Network) OutputSize() int {
+	if len(n.layers) == 0 {
+		return 0
+	}
+	return n.layers[len(n.layers)-1].out
+}
+
+// Forward runs one input through the network.
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input length %d, want %d", len(x), n.InputSize()))
+	}
+	a := x
+	for _, l := range n.layers {
+		a = l.forward(a, nil)
+	}
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// forward computes the layer output; if pre is non-nil it receives the
+// pre-activation values (needed for backprop).
+func (l *layer) forward(x []float64, pre []float64) []float64 {
+	out := make([]float64, l.out)
+	for o := 0; o < l.out; o++ {
+		s := l.b[o]
+		row := l.w[o*l.in : (o+1)*l.in]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		if pre != nil {
+			pre[o] = s
+		}
+		if l.act == ReLU && s < 0 {
+			s = 0
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// TrainConfig controls AutoencoderTrainer-style SGD with Adam.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LearnRate float64
+	Seed      int64 // mini-batch shuffle seed
+}
+
+// DefaultTrainConfig mirrors the paper's Keras settings: Adam with its
+// default learning rate, 50 epochs.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 50, BatchSize: 16, LearnRate: 1e-3, Seed: 1}
+}
+
+// Fit trains the network to map inputs x to targets y under MSE loss and
+// returns the final epoch's mean loss. Rows of x and y correspond.
+func (n *Network) Fit(x, y *linalg.Dense, cfg TrainConfig) float64 {
+	if x.Rows() != y.Rows() {
+		panic(fmt.Sprintf("nn: %d inputs vs %d targets", x.Rows(), y.Rows()))
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 1e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, x.Rows())
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			epochLoss += n.trainBatch(x, y, idx[start:end], cfg.LearnRate)
+		}
+		if x.Rows() > 0 {
+			lastLoss = epochLoss / float64(x.Rows())
+		}
+	}
+	return lastLoss
+}
+
+// trainBatch accumulates gradients over the batch and applies one Adam step.
+// It returns the summed per-example MSE loss.
+func (n *Network) trainBatch(x, y *linalg.Dense, batch []int, lr float64) float64 {
+	type grads struct {
+		w, b []float64
+	}
+	gs := make([]grads, len(n.layers))
+	for li, l := range n.layers {
+		gs[li] = grads{w: make([]float64, len(l.w)), b: make([]float64, len(l.b))}
+	}
+
+	var loss float64
+	acts := make([][]float64, len(n.layers)+1)
+	pres := make([][]float64, len(n.layers))
+	for li, l := range n.layers {
+		pres[li] = make([]float64, l.out)
+	}
+
+	for _, row := range batch {
+		acts[0] = x.RowView(row)
+		for li, l := range n.layers {
+			acts[li+1] = l.forward(acts[li], pres[li])
+		}
+		out := acts[len(n.layers)]
+		target := y.RowView(row)
+
+		// dL/dout for MSE = 2(out − target)/d.
+		d := make([]float64, len(out))
+		invDim := 1 / float64(len(out))
+		for i := range out {
+			diff := out[i] - target[i]
+			loss += diff * diff * invDim
+			d[i] = 2 * diff * invDim
+		}
+
+		// Backpropagate.
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			l := n.layers[li]
+			if l.act == ReLU {
+				for o := range d {
+					if pres[li][o] <= 0 {
+						d[o] = 0
+					}
+				}
+			}
+			in := acts[li]
+			g := gs[li]
+			for o := 0; o < l.out; o++ {
+				do := d[o]
+				if do == 0 {
+					continue
+				}
+				g.b[o] += do
+				wrow := g.w[o*l.in : (o+1)*l.in]
+				for i, xi := range in {
+					wrow[i] += do * xi
+				}
+			}
+			if li > 0 {
+				prev := make([]float64, l.in)
+				for o := 0; o < l.out; o++ {
+					do := d[o]
+					if do == 0 {
+						continue
+					}
+					wrow := l.w[o*l.in : (o+1)*l.in]
+					for i := range prev {
+						prev[i] += do * wrow[i]
+					}
+				}
+				d = prev
+			}
+		}
+	}
+
+	inv := 1 / float64(len(batch))
+	n.step++
+	for li, l := range n.layers {
+		adamStep(l.w, gs[li].w, l.mw, l.vw, lr, inv, n.step)
+		adamStep(l.b, gs[li].b, l.mb, l.vb, lr, inv, n.step)
+	}
+	return loss
+}
+
+// adamStep applies one Adam update to params given accumulated gradients
+// scaled by invBatch.
+func adamStep(params, grad, m, v []float64, lr, invBatch float64, step int) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	c1 := 1 - math.Pow(beta1, float64(step))
+	c2 := 1 - math.Pow(beta2, float64(step))
+	for i := range params {
+		g := grad[i] * invBatch
+		m[i] = beta1*m[i] + (1-beta1)*g
+		v[i] = beta2*v[i] + (1-beta2)*g*g
+		params[i] -= lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + eps)
+	}
+}
+
+// Autoencoder is a network trained to reconstruct its input.
+type Autoencoder struct {
+	net *Network
+}
+
+// NewAutoencoder builds a symmetric dense autoencoder with the given hidden
+// layer sizes (e.g. 100, 10, 100 for the paper's 768|100|10|100|768) using
+// ReLU on hidden layers and a linear output.
+func NewAutoencoder(dim int, seed int64, hidden ...int) *Autoencoder {
+	specs := make([]LayerSpec, 0, len(hidden)+1)
+	for _, h := range hidden {
+		specs = append(specs, LayerSpec{Out: h, Act: ReLU})
+	}
+	specs = append(specs, LayerSpec{Out: dim, Act: Linear})
+	return &Autoencoder{net: NewNetwork(dim, seed, specs...)}
+}
+
+// Fit trains the autoencoder to reconstruct the rows of x and returns the
+// final epoch's mean loss.
+func (a *Autoencoder) Fit(x *linalg.Dense, cfg TrainConfig) float64 {
+	return a.net.Fit(x, x, cfg)
+}
+
+// ReconstructionErrors returns the per-row MSE between each row of x and
+// its reconstruction.
+func (a *Autoencoder) ReconstructionErrors(x *linalg.Dense) []float64 {
+	out := make([]float64, x.Rows())
+	for i := 0; i < x.Rows(); i++ {
+		rec := a.net.Forward(x.RowView(i))
+		out[i] = linalg.MSE(x.RowView(i), rec)
+	}
+	return out
+}

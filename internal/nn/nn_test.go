@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"collabscope/internal/linalg"
+)
+
+func TestForwardShapes(t *testing.T) {
+	n := NewNetwork(4, 1, LayerSpec{Out: 3, Act: ReLU}, LayerSpec{Out: 2, Act: Linear})
+	if n.InputSize() != 4 || n.OutputSize() != 2 {
+		t.Fatalf("sizes = %d→%d", n.InputSize(), n.OutputSize())
+	}
+	out := n.Forward([]float64{1, 2, 3, 4})
+	if len(out) != 2 {
+		t.Fatalf("output len = %d", len(out))
+	}
+}
+
+func TestForwardWrongSizePanics(t *testing.T) {
+	n := NewNetwork(4, 1, LayerSpec{Out: 2, Act: Linear})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input size")
+		}
+	}()
+	n.Forward([]float64{1})
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := NewNetwork(3, 42, LayerSpec{Out: 2, Act: Linear})
+	b := NewNetwork(3, 42, LayerSpec{Out: 2, Act: Linear})
+	x := []float64{0.5, -1, 2}
+	oa, ob := a.Forward(x), b.Forward(x)
+	if oa[0] != ob[0] || oa[1] != ob[1] {
+		t.Fatal("same seed must give identical networks")
+	}
+	c := NewNetwork(3, 43, LayerSpec{Out: 2, Act: Linear})
+	oc := c.Forward(x)
+	if oa[0] == oc[0] && oa[1] == oc[1] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestFitLearnsLinearMap(t *testing.T) {
+	// y = 2x₀ − x₁ is exactly representable by a linear layer.
+	rng := rand.New(rand.NewSource(5))
+	n := 128
+	x := linalg.NewDense(n, 2)
+	y := linalg.NewDense(n, 1)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y.Set(i, 0, 2*a-b)
+	}
+	net := NewNetwork(2, 7, LayerSpec{Out: 1, Act: Linear})
+	loss := net.Fit(x, y, TrainConfig{Epochs: 200, BatchSize: 16, LearnRate: 0.01, Seed: 3})
+	if loss > 1e-3 {
+		t.Fatalf("final loss = %v, want < 1e-3", loss)
+	}
+	out := net.Forward([]float64{1, 1})
+	if math.Abs(out[0]-1) > 0.05 {
+		t.Fatalf("f(1,1) = %v, want ≈ 1", out[0])
+	}
+}
+
+func TestAutoencoderReconstructsLowRankData(t *testing.T) {
+	// Data on a 2-d manifold embedded in 8-d: a bottleneck of 2 suffices.
+	rng := rand.New(rand.NewSource(9))
+	n, dim := 200, 8
+	basis := make([][]float64, 2)
+	for b := range basis {
+		basis[b] = make([]float64, dim)
+		for j := range basis[b] {
+			basis[b][j] = rng.NormFloat64()
+		}
+	}
+	x := linalg.NewDense(n, dim)
+	for i := 0; i < n; i++ {
+		c0, c1 := rng.NormFloat64(), rng.NormFloat64()
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, c0*basis[0][j]+c1*basis[1][j])
+		}
+	}
+	// A ReLU bottleneck needs two units per signed degree of freedom
+	// (positive and negative part), so 4 units cover the 2-d manifold.
+	ae := NewAutoencoder(dim, 11, 6, 4, 6)
+	ae.Fit(x, TrainConfig{Epochs: 800, BatchSize: 32, LearnRate: 0.01, Seed: 2})
+	errs := ae.ReconstructionErrors(x)
+	// Per-element data variance is ≈ 2 (two unit-normal coefficients on
+	// unit-normal basis vectors), so 0.5 means ≥ 75 % variance explained.
+	if got := linalg.Mean(errs); got > 0.5 {
+		t.Fatalf("mean reconstruction error = %v, want < 0.5", got)
+	}
+
+	// An off-manifold outlier must reconstruct worse than the average
+	// training point.
+	outlier := linalg.NewDense(1, dim)
+	for j := 0; j < dim; j++ {
+		outlier.Set(0, j, 10*math.Cos(float64(j*j)))
+	}
+	oerr := ae.ReconstructionErrors(outlier)[0]
+	if oerr < 2*linalg.Mean(errs) {
+		t.Fatalf("outlier error %v should exceed 2× mean inlier error %v", oerr, linalg.Mean(errs))
+	}
+}
+
+func TestFitMismatchedRowsPanics(t *testing.T) {
+	n := NewNetwork(2, 1, LayerSpec{Out: 2, Act: Linear})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Fit(linalg.NewDense(3, 2), linalg.NewDense(2, 2), DefaultTrainConfig())
+}
+
+func TestDefaultTrainConfig(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	if cfg.Epochs != 50 || cfg.BatchSize <= 0 || cfg.LearnRate <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}
+
+func TestReLUForward(t *testing.T) {
+	n := NewNetwork(1, 1, LayerSpec{Out: 1, Act: ReLU})
+	// Force known weights.
+	n.layers[0].w[0] = 1
+	n.layers[0].b[0] = 0
+	if got := n.Forward([]float64{-5})[0]; got != 0 {
+		t.Fatalf("ReLU(-5) = %v", got)
+	}
+	if got := n.Forward([]float64{3})[0]; got != 3 {
+		t.Fatalf("ReLU(3) = %v", got)
+	}
+}

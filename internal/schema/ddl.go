@@ -1,0 +1,375 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseDDL parses a SQL-DDL subset — a sequence of CREATE TABLE statements —
+// into a Schema with the given name. It understands column definitions with
+// vendor data types, inline PRIMARY KEY / REFERENCES markers, and table-level
+// PRIMARY KEY (…) / FOREIGN KEY (…) REFERENCES … clauses. Comments (both
+// `--` line and `/* */` block) are stripped. Statements other than CREATE
+// TABLE are ignored.
+func ParseDDL(name, ddl string) (*Schema, error) {
+	s := &Schema{Name: name}
+	toks := lexDDL(stripComments(ddl))
+	p := &ddlParser{toks: toks}
+	for !p.done() {
+		if p.peekKeyword("CREATE") && p.peekKeywordAt(1, "TABLE") {
+			t, err := p.parseCreateTable()
+			if err != nil {
+				return nil, fmt.Errorf("schema %s: %w", name, err)
+			}
+			s.Tables = append(s.Tables, t)
+			continue
+		}
+		p.skipStatement()
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func stripComments(src string) string {
+	var b strings.Builder
+	for i := 0; i < len(src); {
+		switch {
+		case strings.HasPrefix(src[i:], "--"):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "/*"):
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				i = len(src)
+			} else {
+				i += 2 + end + 2
+			}
+		default:
+			b.WriteByte(src[i])
+			i++
+		}
+	}
+	return b.String()
+}
+
+// lexDDL splits the DDL source into identifiers/keywords, numbers, and the
+// punctuation tokens ( ) , ;. Quoted identifiers lose their quotes.
+func lexDDL(src string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '"' || c == '`' || c == '[' || c == '\'':
+			flush()
+			close := c
+			if c == '[' {
+				close = ']'
+			}
+			j := i + 1
+			for j < len(src) && src[j] != close {
+				cur.WriteByte(src[j])
+				j++
+			}
+			flush()
+			i = j
+		case c == '(' || c == ')' || c == ',' || c == ';':
+			flush()
+			toks = append(toks, string(c))
+		case unicode.IsSpace(rune(c)):
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return toks
+}
+
+type ddlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *ddlParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *ddlParser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *ddlParser) peekAt(n int) string {
+	if p.pos+n >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *ddlParser) peekKeyword(kw string) bool {
+	return strings.EqualFold(p.peek(), kw)
+}
+
+func (p *ddlParser) peekKeywordAt(n int, kw string) bool {
+	return strings.EqualFold(p.peekAt(n), kw)
+}
+
+func (p *ddlParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// skipStatement advances past the next ';' (or to EOF).
+func (p *ddlParser) skipStatement() {
+	for !p.done() {
+		if p.next() == ";" {
+			return
+		}
+	}
+}
+
+func (p *ddlParser) parseCreateTable() (Table, error) {
+	p.next()                 // CREATE
+	p.next()                 // TABLE
+	if p.peekKeyword("IF") { // IF NOT EXISTS
+		p.next()
+		if p.peekKeyword("NOT") {
+			p.next()
+		}
+		if p.peekKeyword("EXISTS") {
+			p.next()
+		}
+	}
+	name := p.next()
+	if name == "" || name == "(" {
+		return Table{}, fmt.Errorf("ddl: missing table name")
+	}
+	// Strip optional schema qualifier: db.table. A quoted name after the
+	// qualifier lexes as a separate token ("db." then the name).
+	if idx := strings.LastIndexByte(name, '.'); idx >= 0 {
+		name = name[idx+1:]
+		if name == "" {
+			name = p.next()
+		}
+	}
+	if p.peek() != "(" {
+		return Table{}, fmt.Errorf("ddl: table %s: expected '(', got %q", name, p.peek())
+	}
+	p.next() // (
+
+	t := Table{Name: name}
+	pkCols := map[string]bool{}
+	fkCols := map[string]bool{}
+
+	for !p.done() && p.peek() != ")" {
+		switch {
+		case p.peekKeyword("PRIMARY"):
+			cols, err := p.parseTableKey("PRIMARY")
+			if err != nil {
+				return t, fmt.Errorf("ddl: table %s: %w", name, err)
+			}
+			for _, c := range cols {
+				pkCols[strings.ToLower(c)] = true
+			}
+		case p.peekKeyword("FOREIGN"):
+			cols, err := p.parseTableKey("FOREIGN")
+			if err != nil {
+				return t, fmt.Errorf("ddl: table %s: %w", name, err)
+			}
+			for _, c := range cols {
+				fkCols[strings.ToLower(c)] = true
+			}
+		case p.peekKeyword("CONSTRAINT"):
+			p.next() // CONSTRAINT
+			p.next() // its name; loop handles the following PRIMARY/FOREIGN/…
+		case p.peekKeyword("UNIQUE") || p.peekKeyword("CHECK") || p.peekKeyword("INDEX") || p.peekKeyword("KEY"):
+			p.skipColumnClause()
+		default:
+			a, err := p.parseColumn(name)
+			if err != nil {
+				return t, fmt.Errorf("ddl: table %s: %w", name, err)
+			}
+			t.Attributes = append(t.Attributes, a)
+		}
+		if p.peek() == "," {
+			p.next()
+		}
+	}
+	if p.peek() != ")" {
+		return t, fmt.Errorf("ddl: table %s: unterminated column list", name)
+	}
+	p.next() // )
+	p.skipStatement()
+
+	for i := range t.Attributes {
+		key := strings.ToLower(t.Attributes[i].Name)
+		switch {
+		case pkCols[key]:
+			t.Attributes[i].Constraint = PrimaryKey
+		case fkCols[key] && t.Attributes[i].Constraint == NoConstraint:
+			t.Attributes[i].Constraint = ForeignKey
+		}
+	}
+	return t, nil
+}
+
+// parseTableKey consumes "PRIMARY KEY (c1, c2, …)" or
+// "FOREIGN KEY (c…) REFERENCES tbl (c…)" and returns the key columns.
+func (p *ddlParser) parseTableKey(kind string) ([]string, error) {
+	p.next() // PRIMARY | FOREIGN
+	if !p.peekKeyword("KEY") {
+		return nil, fmt.Errorf("expected KEY after %s", kind)
+	}
+	p.next()
+	if p.peek() != "(" {
+		return nil, fmt.Errorf("expected '(' after %s KEY", kind)
+	}
+	p.next()
+	var cols []string
+	for !p.done() && p.peek() != ")" {
+		t := p.next()
+		if t != "," {
+			cols = append(cols, t)
+		}
+	}
+	p.next() // )
+	// Consume trailing REFERENCES tbl (cols) if present.
+	if p.peekKeyword("REFERENCES") {
+		p.next()
+		p.next() // referenced table
+		if p.peek() == "(" {
+			p.skipParens()
+		}
+		p.skipReferentialActions()
+	}
+	return cols, nil
+}
+
+// skipColumnClause skips a clause up to the next top-level ',' or ')'.
+func (p *ddlParser) skipColumnClause() {
+	depth := 0
+	for !p.done() {
+		switch p.peek() {
+		case "(":
+			depth++
+		case ")":
+			if depth == 0 {
+				return
+			}
+			depth--
+		case ",":
+			if depth == 0 {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *ddlParser) skipParens() {
+	if p.peek() != "(" {
+		return
+	}
+	depth := 0
+	for !p.done() {
+		switch p.next() {
+		case "(":
+			depth++
+		case ")":
+			depth--
+			if depth == 0 {
+				return
+			}
+		}
+	}
+}
+
+func (p *ddlParser) skipReferentialActions() {
+	for p.peekKeyword("ON") {
+		p.next() // ON
+		p.next() // DELETE | UPDATE
+		p.next() // CASCADE | RESTRICT | SET …
+		if p.peekKeyword("NULL") || p.peekKeyword("DEFAULT") {
+			p.next()
+		}
+	}
+}
+
+// parseColumn consumes one column definition.
+func (p *ddlParser) parseColumn(table string) (Attribute, error) {
+	name := p.next()
+	if name == "" || name == "," || name == ")" {
+		return Attribute{}, fmt.Errorf("missing column name")
+	}
+	typTok := p.peek()
+	var typ DataType = TypeUnknown
+	if typTok != "" && typTok != "," && typTok != ")" && typTok != "(" {
+		p.next()
+		if p.peek() == "(" { // length/precision spec
+			p.skipParens()
+		}
+		typ = NormalizeType(typTok)
+	}
+	a := Attribute{Name: name, Table: table, Type: typ}
+	// Inline constraint tail up to the next top-level ',' or ')'.
+	depth := 0
+	for !p.done() {
+		t := p.peek()
+		if depth == 0 && (t == "," || t == ")") {
+			break
+		}
+		switch {
+		case t == "(":
+			depth++
+		case t == ")":
+			depth--
+		case strings.EqualFold(t, "PRIMARY") && p.peekKeywordAt(1, "KEY"):
+			a.Constraint = PrimaryKey
+		case strings.EqualFold(t, "REFERENCES"):
+			if a.Constraint == NoConstraint {
+				a.Constraint = ForeignKey
+			}
+		}
+		p.next()
+	}
+	return a, nil
+}
+
+// NormalizeType maps a vendor type name onto the vendor-neutral DataType.
+func NormalizeType(vendor string) DataType {
+	switch strings.ToUpper(vendor) {
+	case "VARCHAR", "VARCHAR2", "NVARCHAR", "NVARCHAR2", "CHAR", "NCHAR",
+		"TEXT", "CLOB", "NCLOB", "STRING", "LONGTEXT", "MEDIUMTEXT", "TINYTEXT",
+		"ENUM", "SET", "UUID", "XML", "JSON":
+		return TypeText
+	case "INT", "INTEGER", "SMALLINT", "TINYINT", "MEDIUMINT", "BIGINT",
+		"SERIAL", "NUMBER":
+		return TypeNumber
+	case "DECIMAL", "NUMERIC", "FLOAT", "DOUBLE", "REAL", "MONEY":
+		return TypeDecimal
+	case "DATE":
+		return TypeDate
+	case "DATETIME", "TIMESTAMP", "TIME", "SECONDDATE":
+		return TypeTimestamp
+	case "BOOL", "BOOLEAN", "BIT":
+		return TypeBoolean
+	case "BLOB", "BINARY", "VARBINARY", "BYTEA", "RAW", "LONGBLOB",
+		"MEDIUMBLOB", "TINYBLOB", "IMAGE":
+		return TypeBinary
+	default:
+		return TypeUnknown
+	}
+}

@@ -1,0 +1,231 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDDL = `
+-- Customer orders sample
+CREATE TABLE customers (
+  customer_id   NUMBER(10)    PRIMARY KEY,
+  email_address VARCHAR2(255) NOT NULL,
+  full_name     VARCHAR2(255)
+);
+
+/* orders reference customers */
+CREATE TABLE orders (
+  order_id       NUMBER(10),
+  order_datetime TIMESTAMP NOT NULL,
+  customer_id    NUMBER(10) REFERENCES customers (customer_id),
+  order_status   VARCHAR2(10),
+  CONSTRAINT pk_orders PRIMARY KEY (order_id)
+);
+
+CREATE INDEX idx_orders ON orders (customer_id);
+
+CREATE TABLE order_items (
+  order_id     NUMBER(10),
+  line_item_id NUMBER(5),
+  unit_price   DECIMAL(10,2),
+  PRIMARY KEY (order_id, line_item_id),
+  FOREIGN KEY (order_id) REFERENCES orders (order_id) ON DELETE CASCADE
+);
+`
+
+func TestParseDDL(t *testing.T) {
+	s, err := ParseDDL("ORA", sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTables() != 3 {
+		t.Fatalf("tables = %d, want 3", s.NumTables())
+	}
+	if s.NumAttributes() != 3+4+3 {
+		t.Fatalf("attributes = %d, want 10", s.NumAttributes())
+	}
+
+	cid := s.Attribute("customers", "customer_id")
+	if cid == nil || cid.Constraint != PrimaryKey || cid.Type != TypeNumber {
+		t.Fatalf("customers.customer_id = %+v", cid)
+	}
+	email := s.Attribute("customers", "email_address")
+	if email.Type != TypeText || email.Constraint != NoConstraint {
+		t.Fatalf("email_address = %+v", email)
+	}
+
+	// Table-level CONSTRAINT … PRIMARY KEY.
+	oid := s.Attribute("orders", "order_id")
+	if oid.Constraint != PrimaryKey {
+		t.Fatalf("orders.order_id constraint = %q", oid.Constraint)
+	}
+	// Inline REFERENCES → FOREIGN KEY.
+	fk := s.Attribute("orders", "customer_id")
+	if fk.Constraint != ForeignKey {
+		t.Fatalf("orders.customer_id constraint = %q", fk.Constraint)
+	}
+	odt := s.Attribute("orders", "order_datetime")
+	if odt.Type != TypeTimestamp {
+		t.Fatalf("order_datetime type = %q", odt.Type)
+	}
+
+	// Composite table-level PRIMARY KEY marks both columns; the FK clause
+	// must not downgrade a PK column.
+	li := s.Attribute("order_items", "line_item_id")
+	if li.Constraint != PrimaryKey {
+		t.Fatalf("line_item_id constraint = %q", li.Constraint)
+	}
+	oi := s.Attribute("order_items", "order_id")
+	if oi.Constraint != PrimaryKey {
+		t.Fatalf("order_items.order_id constraint = %q (PK wins over FK)", oi.Constraint)
+	}
+	up := s.Attribute("order_items", "unit_price")
+	if up.Type != TypeDecimal {
+		t.Fatalf("unit_price type = %q", up.Type)
+	}
+}
+
+func TestParseDDLQuotedAndQualified(t *testing.T) {
+	s, err := ParseDDL("X", "CREATE TABLE IF NOT EXISTS mydb.\"My Table\" (`col one` INT, [col2] TEXT);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Qualified name loses the db prefix only when unquoted; the quoted
+	// name "My Table" is used verbatim.
+	if s.NumTables() != 1 {
+		t.Fatalf("tables = %d", s.NumTables())
+	}
+	tab := s.Tables[0]
+	if tab.Name != "My Table" {
+		t.Fatalf("table name = %q", tab.Name)
+	}
+	if len(tab.Attributes) != 2 || tab.Attributes[0].Name != "col one" || tab.Attributes[1].Name != "col2" {
+		t.Fatalf("attributes = %+v", tab.Attributes)
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	if _, err := ParseDDL("X", "CREATE TABLE t (a INT"); err == nil {
+		t.Fatal("unterminated column list should fail")
+	}
+	if _, err := ParseDDL("X", "CREATE TABLE ("); err == nil {
+		t.Fatal("missing table name should fail")
+	}
+	if _, err := ParseDDL("X", "CREATE TABLE t (a INT); CREATE TABLE T (b INT);"); err == nil {
+		t.Fatal("duplicate tables should fail validation")
+	}
+}
+
+func TestParseDDLIgnoresOtherStatements(t *testing.T) {
+	s, err := ParseDDL("X", "DROP TABLE old; CREATE TABLE t (a INT); INSERT INTO t VALUES (1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTables() != 1 || s.NumAttributes() != 1 {
+		t.Fatalf("schema = %d tables %d attrs", s.NumTables(), s.NumAttributes())
+	}
+}
+
+func TestNormalizeType(t *testing.T) {
+	cases := map[string]DataType{
+		"VARCHAR2":   TypeText,
+		"varchar":    TypeText,
+		"NVARCHAR":   TypeText,
+		"NUMBER":     TypeNumber,
+		"int":        TypeNumber,
+		"DECIMAL":    TypeDecimal,
+		"double":     TypeDecimal,
+		"DATE":       TypeDate,
+		"DATETIME":   TypeTimestamp,
+		"SECONDDATE": TypeTimestamp,
+		"BOOLEAN":    TypeBoolean,
+		"BLOB":       TypeBinary,
+		"GEOMETRY":   TypeUnknown,
+	}
+	for in, want := range cases {
+		if got := NormalizeType(in); got != want {
+			t.Errorf("NormalizeType(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	got := stripComments("a -- line\nb /* block\nspans */ c")
+	want := "a \nb  c"
+	if got != want {
+		t.Fatalf("stripComments = %q, want %q", got, want)
+	}
+	// Unterminated block comment swallows the rest.
+	if got := stripComments("a /* open"); got != "a " {
+		t.Fatalf("unterminated = %q", got)
+	}
+}
+
+func TestWriteDDLRoundTrip(t *testing.T) {
+	orig, err := ParseDDL("ORA", sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.WriteDDL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDDL("ORA", buf.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if back.NumTables() != orig.NumTables() || back.NumAttributes() != orig.NumAttributes() {
+		t.Fatalf("round trip: %d/%d tables, %d/%d attrs",
+			back.NumTables(), orig.NumTables(), back.NumAttributes(), orig.NumAttributes())
+	}
+	for _, tb := range orig.Tables {
+		for _, a := range tb.Attributes {
+			got := back.Attribute(tb.Name, a.Name)
+			if got == nil {
+				t.Fatalf("lost attribute %s.%s", tb.Name, a.Name)
+			}
+			if got.Type != a.Type {
+				t.Errorf("%s.%s type %q -> %q", tb.Name, a.Name, a.Type, got.Type)
+			}
+			// Primary keys survive; FK markers degrade to comments (the
+			// metadata model does not track references).
+			if a.Constraint == PrimaryKey && got.Constraint != PrimaryKey {
+				t.Errorf("%s.%s lost PRIMARY KEY", tb.Name, a.Name)
+			}
+		}
+	}
+}
+
+func TestWriteDDLQuoting(t *testing.T) {
+	s := (&Schema{Name: "X", Tables: []Table{{
+		Name:       "my table",
+		Attributes: []Attribute{{Name: "weird col", Type: TypeText}},
+	}}}).Normalize()
+	var buf strings.Builder
+	if err := s.WriteDDL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"my table"`) || !strings.Contains(buf.String(), `"weird col"`) {
+		t.Fatalf("quoting missing:\n%s", buf.String())
+	}
+}
+
+func TestParseDDLSkipsTableLevelClauses(t *testing.T) {
+	ddl := `CREATE TABLE t (
+	  a INT,
+	  UNIQUE (a),
+	  CHECK (a > 0),
+	  KEY idx_a (a),
+	  b VARCHAR(10)
+	);`
+	s, err := ParseDDL("X", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttributes() != 2 {
+		t.Fatalf("attributes = %d, want 2 (clauses skipped)", s.NumAttributes())
+	}
+	if s.Attribute("t", "b") == nil {
+		t.Fatal("column after skipped clauses lost")
+	}
+}

@@ -1,0 +1,91 @@
+package schema
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDDL emits the schema as CREATE TABLE statements with vendor-neutral
+// types — the inverse of ParseDDL, used to hand streamlined schemas back to
+// tooling that speaks SQL.
+func (s *Schema) WriteDDL(w io.Writer) error {
+	for ti, t := range s.Tables {
+		if ti > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "CREATE TABLE %s (\n", quoteIdent(t.Name)); err != nil {
+			return err
+		}
+		for ai, a := range t.Attributes {
+			line := "  " + quoteIdent(a.Name) + " " + ddlType(a.Type)
+			if a.Constraint == PrimaryKey {
+				line += " PRIMARY KEY"
+			}
+			if ai < len(t.Attributes)-1 {
+				line += ","
+			}
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+		// Foreign keys go last as table-level clauses (references are not
+		// tracked in the metadata model, so only the marker survives).
+		var fks []string
+		for _, a := range t.Attributes {
+			if a.Constraint == ForeignKey {
+				fks = append(fks, a.Name)
+			}
+		}
+		if len(fks) > 0 {
+			if _, err := fmt.Fprintf(w, "  -- FOREIGN KEY columns: %s\n", strings.Join(fks, ", ")); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, ");\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ddlType maps a vendor-neutral type to a SQL spelling ParseDDL normalises
+// back onto the same bucket.
+func ddlType(t DataType) string {
+	switch t {
+	case TypeText:
+		return "VARCHAR"
+	case TypeNumber:
+		return "INT"
+	case TypeDecimal:
+		return "DECIMAL"
+	case TypeDate:
+		return "DATE"
+	case TypeTimestamp:
+		return "TIMESTAMP"
+	case TypeBoolean:
+		return "BOOLEAN"
+	case TypeBinary:
+		return "BLOB"
+	default:
+		return "VARCHAR"
+	}
+}
+
+// quoteIdent quotes identifiers that are not plain SQL words.
+func quoteIdent(ident string) string {
+	plain := ident != ""
+	for _, r := range ident {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		default:
+			plain = false
+		}
+	}
+	if plain {
+		return ident
+	}
+	return `"` + strings.ReplaceAll(ident, `"`, `""`) + `"`
+}

@@ -1,0 +1,55 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDDL asserts the DDL parser never panics and that accepted
+// schemas always validate and serialise.
+func FuzzParseDDL(f *testing.F) {
+	seeds := []string{
+		"",
+		"CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10));",
+		"CREATE TABLE IF NOT EXISTS db.t (a INT REFERENCES u (x) ON DELETE CASCADE);",
+		"create table \"weird name\" (`c 1` text, [c2] blob, PRIMARY KEY (`c 1`));",
+		"CREATE TABLE t (a INT", // unterminated
+		"DROP TABLE x; CREATE TABLE t (a INT); -- comment",
+		"CREATE TABLE t (PRIMARY KEY (a), a INT);",
+		"CREATE TABLE t (a INT, CONSTRAINT c FOREIGN KEY (a) REFERENCES u (b));",
+		"/* unterminated",
+		"CREATE TABLE ();;;",
+		"CREATE TABLE t (a)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, ddl string) {
+		s, err := ParseDDL("fuzz", ddl)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted schema fails validation: %v\ninput: %q", err, ddl)
+		}
+		// Serialisations must not panic either.
+		for _, el := range s.Elements() {
+			if el.Text == "" {
+				t.Fatalf("empty serialisation for %v", el.ID)
+			}
+		}
+		// Emitting and re-parsing must keep the element counts.
+		var buf strings.Builder
+		if err := s.WriteDDL(&buf); err != nil {
+			t.Fatalf("WriteDDL: %v", err)
+		}
+		back, err := ParseDDL("fuzz", buf.String())
+		if err != nil {
+			t.Fatalf("re-parse of emitted DDL failed: %v\nddl:\n%s", err, buf.String())
+		}
+		if back.NumTables() != s.NumTables() || back.NumAttributes() != s.NumAttributes() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d\nddl:\n%s",
+				s.NumTables(), s.NumAttributes(), back.NumTables(), back.NumAttributes(), buf.String())
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON encodes the schema as indented JSON.
+func (s *Schema) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON decodes a schema from JSON, normalises it, and validates it.
+func ReadJSON(r io.Reader) (*Schema, error) {
+	var s Schema
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("schema: decode: %w", err)
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// linkageJSON is the wire form of a ground-truth linkage.
+type linkageJSON struct {
+	A    ElementID   `json:"a"`
+	B    ElementID   `json:"b"`
+	Type LinkageType `json:"type"`
+}
+
+// WriteJSON encodes the linkage set as indented JSON.
+func (g *GroundTruth) WriteJSON(w io.Writer) error {
+	links := g.Linkages()
+	wire := make([]linkageJSON, len(links))
+	for i, l := range links {
+		wire[i] = linkageJSON{A: l.A, B: l.B, Type: l.Type}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wire)
+}
+
+// ReadGroundTruthJSON decodes a linkage set from JSON.
+func ReadGroundTruthJSON(r io.Reader) (*GroundTruth, error) {
+	var wire []linkageJSON
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("schema: decode linkages: %w", err)
+	}
+	g := NewGroundTruth()
+	for _, l := range wire {
+		if err := g.Add(Linkage{A: l.A, B: l.B, Type: l.Type}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

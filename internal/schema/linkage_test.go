@@ -1,0 +1,164 @@
+package schema
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoSchemas() (*Schema, *Schema) {
+	s1 := (&Schema{Name: "S1", Tables: []Table{{
+		Name: "CLIENT",
+		Attributes: []Attribute{
+			{Name: "CID", Type: TypeNumber, Constraint: PrimaryKey},
+			{Name: "NAME", Type: TypeText},
+		},
+	}}}).Normalize()
+	s2 := (&Schema{Name: "S2", Tables: []Table{{
+		Name: "CUSTOMER",
+		Attributes: []Attribute{
+			{Name: "CUSTOMER_ID", Type: TypeNumber, Constraint: PrimaryKey},
+			{Name: "FULL_NAME", Type: TypeText},
+			{Name: "DOB", Type: TypeDate},
+		},
+	}}}).Normalize()
+	return s1, s2
+}
+
+func TestGroundTruthAddSymmetric(t *testing.T) {
+	s1, s2 := twoSchemas()
+	g := NewGroundTruth()
+	a := TableID(s1.Name, "CLIENT")
+	b := TableID(s2.Name, "CUSTOMER")
+	g.MustAdd(Linkage{A: a, B: b, Type: InterIdentical})
+	g.MustAdd(Linkage{A: b, B: a, Type: InterIdentical}) // symmetric duplicate
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (symmetric collapse)", g.Len())
+	}
+	if !g.Contains(a, b) || !g.Contains(b, a) {
+		t.Fatal("Contains must be symmetric")
+	}
+}
+
+func TestGroundTruthRejectsBadLinkages(t *testing.T) {
+	g := NewGroundTruth()
+	sameSchema := Linkage{
+		A: TableID("S1", "A"), B: TableID("S1", "B"), Type: InterIdentical,
+	}
+	if err := g.Add(sameSchema); err == nil {
+		t.Fatal("intra-schema linkage must be rejected")
+	}
+	kindMix := Linkage{
+		A: TableID("S1", "A"), B: AttributeID("S2", "B", "c"), Type: InterIdentical,
+	}
+	if err := g.Add(kindMix); err == nil {
+		t.Fatal("table-attribute linkage must be rejected")
+	}
+}
+
+func TestLinkableSetAndLabels(t *testing.T) {
+	s1, s2 := twoSchemas()
+	g := NewGroundTruth()
+	g.MustAdd(Linkage{A: TableID("S1", "CLIENT"), B: TableID("S2", "CUSTOMER"), Type: InterIdentical})
+	g.MustAdd(Linkage{
+		A: AttributeID("S1", "CLIENT", "NAME"), B: AttributeID("S2", "CUSTOMER", "FULL_NAME"),
+		Type: InterSubTyped,
+	})
+	labels := g.Labels([]*Schema{s1, s2})
+	if len(labels) != s1.NumElements()+s2.NumElements() {
+		t.Fatalf("labels cover %d elements", len(labels))
+	}
+	if !labels[TableID("S1", "CLIENT")] {
+		t.Fatal("CLIENT should be linkable")
+	}
+	if labels[AttributeID("S2", "CUSTOMER", "DOB")] {
+		t.Fatal("DOB should be unlinkable")
+	}
+	// 4 linkable of 7 elements → overhead 3/4 = 0.75.
+	if got := UnlinkableOverhead(labels); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("overhead = %v", got)
+	}
+}
+
+func TestCountByTypeAndBetween(t *testing.T) {
+	g := NewGroundTruth()
+	g.MustAdd(Linkage{A: TableID("S1", "A"), B: TableID("S2", "B"), Type: InterIdentical})
+	g.MustAdd(Linkage{A: TableID("S1", "A"), B: TableID("S3", "C"), Type: InterSubTyped})
+	ii, is := g.CountByType()
+	if ii != 1 || is != 1 {
+		t.Fatalf("CountByType = %d, %d", ii, is)
+	}
+	ii, is = g.CountBetween("S1", "S2")
+	if ii != 1 || is != 0 {
+		t.Fatalf("CountBetween(S1,S2) = %d, %d", ii, is)
+	}
+	ii, is = g.CountBetween("S3", "S1") // order-insensitive
+	if ii != 0 || is != 1 {
+		t.Fatalf("CountBetween(S3,S1) = %d, %d", ii, is)
+	}
+}
+
+func TestGroundTruthValidate(t *testing.T) {
+	s1, s2 := twoSchemas()
+	g := NewGroundTruth()
+	g.MustAdd(Linkage{A: TableID("S1", "CLIENT"), B: TableID("S2", "CUSTOMER"), Type: InterIdentical})
+	if err := g.Validate([]*Schema{s1, s2}); err != nil {
+		t.Fatalf("valid ground truth rejected: %v", err)
+	}
+	g.MustAdd(Linkage{A: TableID("S1", "GHOST"), B: TableID("S2", "CUSTOMER"), Type: InterIdentical})
+	if err := g.Validate([]*Schema{s1, s2}); err == nil {
+		t.Fatal("missing endpoint must fail validation")
+	}
+}
+
+func TestLinkagesDeterministicOrder(t *testing.T) {
+	g := NewGroundTruth()
+	g.MustAdd(Linkage{A: TableID("S2", "B"), B: TableID("S1", "Z"), Type: InterIdentical})
+	g.MustAdd(Linkage{A: TableID("S1", "A"), B: TableID("S2", "B"), Type: InterIdentical})
+	ls := g.Linkages()
+	if len(ls) != 2 || ls[0].A.Table != "A" {
+		t.Fatalf("Linkages order = %+v", ls)
+	}
+	// Canonicalisation puts the lexicographically smaller endpoint first.
+	if ls[1].A.Schema != "S1" {
+		t.Fatalf("canonical endpoint order wrong: %+v", ls[1])
+	}
+}
+
+func TestCartesianSizes(t *testing.T) {
+	s1, s2 := twoSchemas()
+	if got := CartesianTables([]*Schema{s1, s2}); got != 1 {
+		t.Fatalf("CartesianTables = %d", got)
+	}
+	if got := CartesianAttributes([]*Schema{s1, s2}); got != 6 {
+		t.Fatalf("CartesianAttributes = %d", got)
+	}
+}
+
+func TestGroundTruthJSONRoundTrip(t *testing.T) {
+	g := NewGroundTruth()
+	g.MustAdd(Linkage{A: TableID("S1", "A"), B: TableID("S2", "B"), Type: InterIdentical})
+	g.MustAdd(Linkage{
+		A: AttributeID("S1", "A", "x"), B: AttributeID("S2", "B", "y"), Type: InterSubTyped,
+	})
+	var buf strings.Builder
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGroundTruthJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip Len = %d", back.Len())
+	}
+	if !back.Contains(AttributeID("S1", "A", "x"), AttributeID("S2", "B", "y")) {
+		t.Fatal("linkage lost in round trip")
+	}
+}
+
+func TestUnlinkableOverheadEdge(t *testing.T) {
+	if UnlinkableOverhead(map[ElementID]bool{TableID("S", "T"): false}) != 0 {
+		t.Fatal("no linkable elements should give 0 overhead")
+	}
+}

@@ -1,0 +1,233 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1S1 is schema S1 from Figure 1 of the paper.
+func figure1S1() *Schema {
+	s := &Schema{
+		Name: "S1",
+		Tables: []Table{{
+			Name: "CLIENT",
+			Attributes: []Attribute{
+				{Name: "CID", Type: TypeNumber, Constraint: PrimaryKey},
+				{Name: "NAME", Type: TypeText},
+				{Name: "ADDRESS", Type: TypeText},
+				{Name: "PHONE", Type: TypeText},
+			},
+		}},
+	}
+	return s.Normalize()
+}
+
+func TestCounts(t *testing.T) {
+	s := figure1S1()
+	if s.NumTables() != 1 || s.NumAttributes() != 4 || s.NumElements() != 5 {
+		t.Fatalf("counts = %d tables, %d attrs, %d elements",
+			s.NumTables(), s.NumAttributes(), s.NumElements())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := figure1S1()
+	if s.Table("client") == nil {
+		t.Fatal("case-insensitive table lookup failed")
+	}
+	if s.Table("missing") != nil {
+		t.Fatal("lookup of missing table should be nil")
+	}
+	a := s.Attribute("CLIENT", "name")
+	if a == nil || a.Type != TypeText {
+		t.Fatalf("attribute lookup = %+v", a)
+	}
+	if s.Attribute("CLIENT", "nope") != nil {
+		t.Fatal("missing attribute should be nil")
+	}
+}
+
+func TestSerializeAttribute(t *testing.T) {
+	s := figure1S1()
+	got := SerializeAttribute(*s.Attribute("CLIENT", "CID"))
+	want := "CID CLIENT NUMBER PRIMARY KEY"
+	if got != want {
+		t.Fatalf("T^a = %q, want %q", got, want)
+	}
+	got = SerializeAttribute(*s.Attribute("CLIENT", "NAME"))
+	if got != "NAME CLIENT TEXT" {
+		t.Fatalf("T^a = %q", got)
+	}
+}
+
+func TestSerializeTable(t *testing.T) {
+	s := figure1S1()
+	got := SerializeTable(s.Tables[0])
+	want := "CLIENT [CID, NAME, ADDRESS, PHONE]"
+	if got != want {
+		t.Fatalf("T^t = %q, want %q", got, want)
+	}
+}
+
+func TestElementsOrderAndIdentity(t *testing.T) {
+	s := figure1S1()
+	els := s.Elements()
+	if len(els) != 5 {
+		t.Fatalf("len(Elements) = %d", len(els))
+	}
+	if els[0].ID.Kind != KindTable || els[0].ID.String() != "S1.CLIENT" {
+		t.Fatalf("first element = %+v", els[0].ID)
+	}
+	if els[1].ID.Kind != KindAttribute || els[1].ID.String() != "S1.CLIENT.CID" {
+		t.Fatalf("second element = %+v", els[1].ID)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := figure1S1()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	dup := &Schema{Name: "X", Tables: []Table{{Name: "A"}, {Name: "a"}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate table should fail validation")
+	}
+	dupAttr := &Schema{Name: "X", Tables: []Table{{
+		Name:       "A",
+		Attributes: []Attribute{{Name: "c"}, {Name: "C"}},
+	}}}
+	if err := dupAttr.Validate(); err == nil {
+		t.Fatal("duplicate attribute should fail validation")
+	}
+	var noName Schema
+	if err := noName.Validate(); err == nil {
+		t.Fatal("empty name should fail validation")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s := figure1S1()
+	keep := map[ElementID]bool{
+		TableID("S1", "CLIENT"):              true,
+		AttributeID("S1", "CLIENT", "NAME"):  true,
+		AttributeID("S1", "CLIENT", "PHONE"): false,
+	}
+	sub := s.Subset(keep)
+	if sub.NumTables() != 1 || sub.NumAttributes() != 1 {
+		t.Fatalf("subset = %d tables %d attrs", sub.NumTables(), sub.NumAttributes())
+	}
+	if sub.Attribute("CLIENT", "NAME") == nil {
+		t.Fatal("kept attribute missing")
+	}
+	// Dropping the table but keeping an attribute retains a shell table.
+	keep2 := map[ElementID]bool{AttributeID("S1", "CLIENT", "CID"): true}
+	sub2 := s.Subset(keep2)
+	if sub2.NumTables() != 1 || sub2.NumAttributes() != 1 {
+		t.Fatalf("attribute-only subset = %d tables %d attrs", sub2.NumTables(), sub2.NumAttributes())
+	}
+	// Empty keep-set yields an empty schema.
+	if got := s.Subset(nil); got.NumElements() != 0 {
+		t.Fatalf("empty subset has %d elements", got.NumElements())
+	}
+}
+
+func TestSortElementIDs(t *testing.T) {
+	ids := []ElementID{
+		AttributeID("B", "T", "a"),
+		TableID("B", "T"),
+		AttributeID("A", "T", "z"),
+	}
+	SortElementIDs(ids)
+	if ids[0].Schema != "A" || ids[1].Kind != KindTable || ids[2].Kind != KindAttribute {
+		t.Fatalf("sorted = %v", ids)
+	}
+}
+
+func TestElementKindString(t *testing.T) {
+	if KindTable.String() != "table" || KindAttribute.String() != "attribute" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestNormalizeFillsTableAndType(t *testing.T) {
+	s := &Schema{Name: "X", Tables: []Table{{
+		Name:       "T",
+		Attributes: []Attribute{{Name: "a"}},
+	}}}
+	s.Normalize()
+	a := s.Attribute("T", "a")
+	if a.Table != "T" || a.Type != TypeUnknown {
+		t.Fatalf("normalized attribute = %+v", a)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := figure1S1()
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.NumElements() != s.NumElements() {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if SerializeAttribute(*back.Attribute("CLIENT", "CID")) != "CID CLIENT NUMBER PRIMARY KEY" {
+		t.Fatal("constraint lost in round trip")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":""}`)); err == nil {
+		t.Fatal("want validation error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{bad json`)); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestSerializeAttributeWithSamples(t *testing.T) {
+	a := Attribute{Name: "NAME", Table: "CLIENT", Type: TypeText, Samples: []string{"Michael Scott", "Pam Beesly"}}
+	got := SerializeAttributeWithSamples(a)
+	want := "NAME CLIENT TEXT (Michael Scott, Pam Beesly)"
+	if got != want {
+		t.Fatalf("serialised = %q, want %q", got, want)
+	}
+	// Without samples it degrades to the plain form.
+	a.Samples = nil
+	if SerializeAttributeWithSamples(a) != SerializeAttribute(a) {
+		t.Fatal("sample-less serialisation must match the plain form")
+	}
+}
+
+func TestElementsWithSamples(t *testing.T) {
+	s := (&Schema{Name: "S", Tables: []Table{{
+		Name: "T",
+		Attributes: []Attribute{
+			{Name: "a", Type: TypeText, Samples: []string{"x"}},
+			{Name: "b", Type: TypeText},
+		},
+	}}}).Normalize()
+	els := s.ElementsWithSamples()
+	if len(els) != 3 {
+		t.Fatalf("elements = %d", len(els))
+	}
+	if els[1].Text != "a T TEXT (x)" {
+		t.Fatalf("enriched text = %q", els[1].Text)
+	}
+	if els[2].Text != "b T TEXT" {
+		t.Fatalf("plain text = %q", els[2].Text)
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	g := NewGroundTruth()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid linkage")
+		}
+	}()
+	g.MustAdd(Linkage{A: TableID("S", "A"), B: TableID("S", "B"), Type: InterIdentical})
+}

@@ -1,0 +1,169 @@
+package spline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 0); err == nil {
+		t.Fatal("empty knots should fail")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}, 0); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := Fit([]float64{1, 1}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("duplicate knots should fail")
+	}
+	if _, err := Fit([]float64{2, 1}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("decreasing knots should fail")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Fatal("negative lambda should fail")
+	}
+}
+
+func TestInterpolationPassesThroughKnots(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{0, 1, 0, 1, 0}
+	s, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got := s.Evaluate(x[i]); math.Abs(got-y[i]) > 1e-9 {
+			t.Fatalf("f(%v) = %v, want %v", x[i], got, y[i])
+		}
+	}
+}
+
+func TestTwoPointsIsLine(t *testing.T) {
+	s, err := Fit([]float64{0, 2}, []float64{1, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Evaluate(1); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("midpoint = %v, want 3", got)
+	}
+}
+
+func TestSinglePointConstant(t *testing.T) {
+	s, err := Fit([]float64{1}, []float64{7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Evaluate(0) != 7 || s.Evaluate(5) != 7 {
+		t.Fatal("single-knot spline should be constant")
+	}
+}
+
+func TestSmoothingReducesRoughness(t *testing.T) {
+	// Noisy samples of a line: smoothing should pull the fit toward the
+	// line, reducing the sum of squared second differences.
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2*x[i] + rng.NormFloat64()
+	}
+	rough := func(s *Spline) float64 {
+		var sum float64
+		for i := 1; i < n-1; i++ {
+			d := s.Evaluate(x[i+1]) - 2*s.Evaluate(x[i]) + s.Evaluate(x[i-1])
+			sum += d * d
+		}
+		return sum
+	}
+	interp, _ := Fit(x, y, 0)
+	smooth, _ := Fit(x, y, 50)
+	if rough(smooth) >= rough(interp) {
+		t.Fatalf("smoothing did not reduce roughness: %v vs %v", rough(smooth), rough(interp))
+	}
+	// Strong smoothing approaches the underlying line.
+	heavy, _ := Fit(x, y, 1e6)
+	for i := 2; i < n-2; i++ {
+		if math.Abs(heavy.Evaluate(x[i])-2*x[i]) > 1.5 {
+			t.Fatalf("heavy smoothing off the trend at %v: %v", x[i], heavy.Evaluate(x[i]))
+		}
+	}
+}
+
+func TestSmoothingPreservesLinearData(t *testing.T) {
+	// A straight line has zero curvature, so any λ must reproduce it.
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := []float64{1, 3, 5, 7, 9, 11}
+	for _, lambda := range []float64{0, 1, 100} {
+		s, err := Fit(x, y, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(s.Evaluate(x[i])-y[i]) > 1e-6 {
+				t.Fatalf("λ=%v: f(%v) = %v, want %v", lambda, x[i], s.Evaluate(x[i]), y[i])
+			}
+		}
+		if got := s.Evaluate(2.5); math.Abs(got-6) > 1e-6 {
+			t.Fatalf("λ=%v: f(2.5) = %v, want 6", lambda, got)
+		}
+	}
+}
+
+func TestExtrapolationIsLinear(t *testing.T) {
+	x := []float64{0, 1, 2}
+	y := []float64{0, 1, 2}
+	s, _ := Fit(x, y, 0)
+	if got := s.Evaluate(-1); math.Abs(got-(-1)) > 1e-9 {
+		t.Fatalf("left extrapolation = %v, want -1", got)
+	}
+	if got := s.Evaluate(4); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("right extrapolation = %v, want 4", got)
+	}
+}
+
+func TestIntegrate(t *testing.T) {
+	// ∫₀² of the line y = x is 2.
+	s, _ := Fit([]float64{0, 1, 2}, []float64{0, 1, 2}, 0)
+	if got := s.Integrate(0, 2); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("integral = %v, want 2", got)
+	}
+	if got := s.Integrate(1, 1); got != 0 {
+		t.Fatalf("empty integral = %v", got)
+	}
+}
+
+// Property: fitted values at knots never exceed the data range by more than
+// a modest overshoot factor, for random monotone data (the ROC use case).
+func TestMonotoneDataBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		cx, cy := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			cx += 0.01 + r.Float64()
+			cy += r.Float64()
+			x[i] = cx
+			y[i] = cy
+		}
+		s, err := Fit(x, y, r.Float64()*5)
+		if err != nil {
+			return false
+		}
+		span := y[n-1] - y[0]
+		for i := 0; i < n; i++ {
+			v := s.Evaluate(x[i])
+			if math.IsNaN(v) || v < y[0]-span || v > y[n-1]+span {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

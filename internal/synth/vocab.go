@@ -1,0 +1,325 @@
+// Package synth generates synthetic multi-source schema matching scenarios
+// with controllable heterogeneity in volume (tables/attributes per schema),
+// design (combined versus split concepts, naming conventions), and domain
+// (shared versus unrelated vocabularies) — the three axes of Section 2.4 of
+// the paper. Generated datasets come with exact ground truth, enabling
+// scalability experiments beyond the fixed OC3 / OC3-FO scenarios and
+// property tests at scale.
+package synth
+
+import "collabscope/internal/schema"
+
+// concept is a semantic unit an attribute can express. Synonym spellings
+// model vendor vocabulary differences; splits model design heterogeneity
+// (one schema stores full_name, another first_name + last_name).
+type concept struct {
+	key      string
+	names    []string // synonym spellings, one picked per schema
+	typ      schema.DataType
+	splits   []concept // non-empty: the split representation
+	isKey    bool
+	isForKey bool
+}
+
+// tableConcept is a semantic unit a table can express.
+type tableConcept struct {
+	key      string
+	names    []string
+	core     []concept // attributes every instantiation carries
+	optional []concept // attributes a schema may or may not carry
+}
+
+// domain is a coherent vocabulary of table concepts plus a private pool of
+// domain-specific filler attributes that never link across domains.
+type domain struct {
+	name   string
+	tables []tableConcept
+	filler []concept
+}
+
+func c(key string, typ schema.DataType, names ...string) concept {
+	return concept{key: key, names: names, typ: typ}
+}
+
+func ckey(key string, names ...string) concept {
+	return concept{key: key, names: names, typ: schema.TypeNumber, isKey: true}
+}
+
+func cfk(key string, names ...string) concept {
+	return concept{key: key, names: names, typ: schema.TypeNumber, isForKey: true}
+}
+
+func split(base concept, parts ...concept) concept {
+	base.splits = parts
+	return base
+}
+
+// commerceDomain models the order-customer world of the paper's datasets.
+func commerceDomain() domain {
+	customerName := split(
+		c("customer-name", schema.TypeText, "NAME", "FULL_NAME", "CUSTOMER_NAME"),
+		c("first-name", schema.TypeText, "FIRST_NAME", "GIVEN_NAME", "FORENAME"),
+		c("last-name", schema.TypeText, "LAST_NAME", "FAMILY_NAME", "SURNAME"),
+	)
+	address := split(
+		c("address", schema.TypeText, "ADDRESS", "FULL_ADDRESS", "POSTAL_ADDRESS"),
+		c("street", schema.TypeText, "STREET", "ADDRESS_LINE1", "STREET_ADDRESS"),
+		c("city", schema.TypeText, "CITY", "TOWN", "LOCALITY_NAME"),
+		c("postal", schema.TypeText, "POSTAL_CODE", "ZIP", "POSTCODE"),
+	)
+	return domain{
+		name: "commerce",
+		tables: []tableConcept{
+			{
+				key:   "customer",
+				names: []string{"CUSTOMERS", "CLIENTS", "BUYERS", "ACCOUNTS"},
+				core: []concept{
+					ckey("customer-id", "CUSTOMER_ID", "CLIENT_ID", "CID", "BUYER_NO"),
+					customerName,
+					c("email", schema.TypeText, "EMAIL", "EMAIL_ADDRESS", "MAIL"),
+					c("phone", schema.TypeText, "PHONE", "TELEPHONE", "PHONE_NUMBER"),
+				},
+				optional: []concept{
+					address,
+					c("credit-limit", schema.TypeDecimal, "CREDIT_LIMIT", "CREDIT_CAP"),
+					c("country", schema.TypeText, "COUNTRY", "NATION"),
+				},
+			},
+			{
+				key:   "order",
+				names: []string{"ORDERS", "PURCHASES", "SALES"},
+				core: []concept{
+					ckey("order-id", "ORDER_ID", "ORDER_NUMBER", "PURCHASE_ID"),
+					cfk("order-customer", "CUSTOMER_ID", "CLIENT_ID", "BUYER_NO"),
+					c("order-date", schema.TypeDate, "ORDER_DATE", "PURCHASE_DATE", "ORDER_DATETIME"),
+					c("order-status", schema.TypeText, "STATUS", "ORDER_STATUS", "STATE"),
+				},
+				optional: []concept{
+					c("order-total", schema.TypeDecimal, "TOTAL", "TOTAL_AMOUNT", "ORDER_TOTAL"),
+					c("ship-date", schema.TypeDate, "SHIPPED_DATE", "DELIVERY_DATE", "DISPATCH_DATE"),
+				},
+			},
+			{
+				key:   "product",
+				names: []string{"PRODUCTS", "ARTICLES", "GOODS", "ITEMS"},
+				core: []concept{
+					ckey("product-id", "PRODUCT_ID", "PRODUCT_CODE", "ARTICLE_NO"),
+					c("product-name", schema.TypeText, "PRODUCT_NAME", "NAME", "TITLE"),
+					c("price", schema.TypeDecimal, "PRICE", "UNIT_PRICE", "COST"),
+				},
+				optional: []concept{
+					c("stock", schema.TypeNumber, "STOCK", "QUANTITY_IN_STOCK", "INVENTORY_COUNT"),
+					c("vendor", schema.TypeText, "VENDOR", "SUPPLIER", "MANUFACTURER"),
+					c("product-desc", schema.TypeText, "DESCRIPTION", "DETAILS", "PRODUCT_DESCRIPTION"),
+				},
+			},
+		},
+		filler: []concept{
+			c("loyalty", schema.TypeText, "LOYALTY_TIER"),
+			c("newsletter", schema.TypeBoolean, "NEWSLETTER_OPT_IN"),
+			c("tax-class", schema.TypeText, "TAX_CLASS"),
+			c("warehouse-zone", schema.TypeText, "WAREHOUSE_ZONE"),
+			c("audit-user", schema.TypeText, "LAST_MODIFIED_BY"),
+			c("audit-time", schema.TypeTimestamp, "LAST_MODIFIED_AT"),
+			c("legacy-flag", schema.TypeBoolean, "LEGACY_FLAG"),
+			c("sync-token", schema.TypeText, "SYNC_TOKEN"),
+		},
+	}
+}
+
+// hrDomain is a second linkable business domain.
+func hrDomain() domain {
+	return domain{
+		name: "hr",
+		tables: []tableConcept{
+			{
+				key:   "employee",
+				names: []string{"EMPLOYEES", "STAFF", "WORKERS"},
+				core: []concept{
+					ckey("employee-id", "EMPLOYEE_ID", "STAFF_NO", "WORKER_ID"),
+					c("employee-name", schema.TypeText, "NAME", "EMPLOYEE_NAME", "FULL_NAME"),
+					c("job-title", schema.TypeText, "JOB_TITLE", "POSITION_TITLE", "ROLE"),
+				},
+				optional: []concept{
+					c("salary", schema.TypeDecimal, "SALARY", "BASE_PAY", "COMPENSATION"),
+					c("hire-date", schema.TypeDate, "HIRE_DATE", "START_DATE", "JOINED_ON"),
+				},
+			},
+			{
+				key:   "department",
+				names: []string{"DEPARTMENTS", "DIVISIONS", "UNITS"},
+				core: []concept{
+					ckey("department-id", "DEPARTMENT_ID", "DEPT_NO", "DIVISION_ID"),
+					c("department-name", schema.TypeText, "DEPARTMENT_NAME", "DEPT_NAME", "DIVISION_NAME"),
+				},
+				optional: []concept{
+					c("budget", schema.TypeDecimal, "BUDGET", "ANNUAL_BUDGET"),
+					c("dept-location", schema.TypeText, "LOCATION", "SITE", "CAMPUS"),
+				},
+			},
+		},
+		filler: []concept{
+			c("badge", schema.TypeText, "BADGE_COLOR"),
+			c("parking", schema.TypeText, "PARKING_SPOT"),
+			c("union", schema.TypeBoolean, "UNION_MEMBER"),
+			c("review-cycle", schema.TypeText, "REVIEW_CYCLE"),
+			c("cost-center", schema.TypeText, "COST_CENTER_CODE"),
+		},
+	}
+}
+
+// financeDomain is a third linkable business domain.
+func financeDomain() domain {
+	return domain{
+		name: "finance",
+		tables: []tableConcept{
+			{
+				key:   "invoice",
+				names: []string{"INVOICES", "BILLS", "RECEIVABLES"},
+				core: []concept{
+					ckey("invoice-id", "INVOICE_ID", "BILL_NO", "INVOICE_NUMBER"),
+					c("invoice-date", schema.TypeDate, "INVOICE_DATE", "BILLING_DATE", "ISSUED_ON"),
+					c("invoice-amount", schema.TypeDecimal, "AMOUNT", "TOTAL_DUE", "INVOICE_TOTAL"),
+					c("invoice-currency", schema.TypeText, "CURRENCY", "CURRENCY_CODE"),
+				},
+				optional: []concept{
+					c("due-date", schema.TypeDate, "DUE_DATE", "PAYMENT_DEADLINE"),
+					c("paid-flag", schema.TypeBoolean, "PAID", "IS_SETTLED"),
+				},
+			},
+			{
+				key:   "payment",
+				names: []string{"PAYMENTS", "TRANSACTIONS", "SETTLEMENTS"},
+				core: []concept{
+					ckey("payment-id", "PAYMENT_ID", "TRANSACTION_ID", "SETTLEMENT_NO"),
+					cfk("payment-invoice", "INVOICE_ID", "BILL_NO"),
+					c("payment-date", schema.TypeDate, "PAYMENT_DATE", "SETTLED_ON"),
+					c("payment-amount", schema.TypeDecimal, "AMOUNT", "PAID_AMOUNT"),
+				},
+				optional: []concept{
+					c("payment-method", schema.TypeText, "METHOD", "PAYMENT_METHOD", "CHANNEL"),
+				},
+			},
+		},
+		filler: []concept{
+			c("ledger-code", schema.TypeText, "LEDGER_CODE"),
+			c("fiscal-period", schema.TypeText, "FISCAL_PERIOD"),
+			c("vat-rate", schema.TypeDecimal, "VAT_RATE"),
+			c("dunning-level", schema.TypeNumber, "DUNNING_LEVEL"),
+		},
+	}
+}
+
+// logisticsDomain is a fourth linkable business domain.
+func logisticsDomain() domain {
+	return domain{
+		name: "logistics",
+		tables: []tableConcept{
+			{
+				key:   "shipment",
+				names: []string{"SHIPMENTS", "DELIVERIES", "DISPATCHES"},
+				core: []concept{
+					ckey("shipment-id", "SHIPMENT_ID", "DELIVERY_NO", "TRACKING_ID"),
+					c("ship-date", schema.TypeDate, "SHIP_DATE", "DISPATCH_DATE", "SENT_ON"),
+					c("ship-status", schema.TypeText, "STATUS", "DELIVERY_STATUS"),
+					c("carrier", schema.TypeText, "CARRIER", "COURIER", "FREIGHT_COMPANY"),
+				},
+				optional: []concept{
+					c("weight", schema.TypeDecimal, "WEIGHT_KG", "GROSS_WEIGHT"),
+					c("destination-city", schema.TypeText, "DESTINATION_CITY", "DELIVERY_CITY"),
+				},
+			},
+			{
+				key:   "warehouse",
+				names: []string{"WAREHOUSES", "DEPOTS", "HUBS"},
+				core: []concept{
+					ckey("warehouse-id", "WAREHOUSE_ID", "DEPOT_NO", "HUB_ID"),
+					c("warehouse-name", schema.TypeText, "WAREHOUSE_NAME", "DEPOT_NAME", "HUB_NAME"),
+					c("warehouse-city", schema.TypeText, "CITY", "LOCATION_CITY"),
+				},
+				optional: []concept{
+					c("capacity", schema.TypeNumber, "CAPACITY_PALLETS", "MAX_PALLETS"),
+				},
+			},
+		},
+		filler: []concept{
+			c("dock-door", schema.TypeText, "DOCK_DOOR"),
+			c("hazmat", schema.TypeBoolean, "HAZMAT_FLAG"),
+			c("route-code", schema.TypeText, "ROUTE_CODE"),
+			c("temperature-zone", schema.TypeText, "TEMPERATURE_ZONE"),
+		},
+	}
+}
+
+// unrelatedDomains are vocabularies guaranteed not to link to the business
+// domains — the Formula-One analogue for heterogeneity experiments.
+func unrelatedDomains() []domain {
+	return []domain{
+		{
+			name: "astronomy",
+			tables: []tableConcept{
+				{
+					key:   "star",
+					names: []string{"STARS"},
+					core: []concept{
+						ckey("star-id", "STAR_ID"),
+						c("designation", schema.TypeText, "DESIGNATION"),
+						c("magnitude", schema.TypeDecimal, "APPARENT_MAGNITUDE"),
+						c("spectral", schema.TypeText, "SPECTRAL_CLASS"),
+					},
+					optional: []concept{
+						c("parallax", schema.TypeDecimal, "PARALLAX_MAS"),
+						c("constellation", schema.TypeText, "CONSTELLATION"),
+					},
+				},
+				{
+					key:   "observation",
+					names: []string{"OBSERVATIONS"},
+					core: []concept{
+						ckey("obs-id", "OBSERVATION_ID"),
+						cfk("obs-star", "STAR_ID"),
+						c("telescope", schema.TypeText, "TELESCOPE"),
+						c("exposure", schema.TypeDecimal, "EXPOSURE_SECONDS"),
+					},
+				},
+			},
+			filler: []concept{
+				c("seeing", schema.TypeDecimal, "SEEING_ARCSEC"),
+				c("airmass", schema.TypeDecimal, "AIRMASS"),
+				c("filterband", schema.TypeText, "FILTER_BAND"),
+			},
+		},
+		{
+			name: "geology",
+			tables: []tableConcept{
+				{
+					key:   "sample",
+					names: []string{"ROCK_SAMPLES"},
+					core: []concept{
+						ckey("sample-id", "SAMPLE_ID"),
+						c("lithology", schema.TypeText, "LITHOLOGY"),
+						c("strata", schema.TypeText, "STRATIGRAPHIC_UNIT"),
+						c("depth", schema.TypeDecimal, "DEPTH_METERS"),
+					},
+					optional: []concept{
+						c("porosity", schema.TypeDecimal, "POROSITY_PCT"),
+						c("grain", schema.TypeText, "GRAIN_SIZE"),
+					},
+				},
+				{
+					key:   "borehole",
+					names: []string{"BOREHOLES"},
+					core: []concept{
+						ckey("borehole-id", "BOREHOLE_ID"),
+						c("drill-rig", schema.TypeText, "DRILL_RIG"),
+						c("azimuth", schema.TypeDecimal, "AZIMUTH_DEG"),
+					},
+				},
+			},
+			filler: []concept{
+				c("core-box", schema.TypeText, "CORE_BOX_LABEL"),
+				c("assay", schema.TypeDecimal, "ASSAY_PPM"),
+			},
+		},
+	}
+}

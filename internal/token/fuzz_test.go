@@ -1,0 +1,30 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNormalize asserts the tokenizer pipeline never panics and keeps its
+// output invariants on arbitrary input.
+func FuzzNormalize(f *testing.F) {
+	for _, s := range []string{
+		"", "CUSTOMER_ID", "camelCaseName", "HTTPServer2", "ADDR2",
+		"日本語", "a__b--c..d", "X", "ALL_CAPS_99",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, ident string) {
+		for _, tok := range Normalize(ident) {
+			if tok == "" {
+				t.Fatalf("empty token from %q", ident)
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("non-lowercase token %q from %q", tok, ident)
+			}
+			if Concept(tok) == "" {
+				t.Fatalf("empty concept for token %q", tok)
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package token splits relational identifiers into normalised word tokens
+// and maps them to semantic concepts via a curated synonym lexicon.
+//
+// Schema metadata names arrive in many conventions — SNAKE_CASE, camelCase,
+// PascalCase, with digits and abbreviations. The tokenizer normalises them
+// all to lower-case word sequences so the signature encoder (and any string
+// matcher) sees CLIENT_NAME, clientName and ClientName identically.
+package token
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Split breaks an identifier into lower-case tokens. It splits on
+// non-alphanumeric separators and on case transitions (fooBar → foo, bar;
+// HTTPServer → http, server) and separates digit runs (addr2 → addr, 2).
+func Split(ident string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(ident)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r):
+			if cur.Len() > 0 {
+				prev := runes[i-1]
+				switch {
+				case unicode.IsDigit(prev):
+					flush()
+				case unicode.IsLower(prev) && unicode.IsUpper(r):
+					// camelCase boundary.
+					flush()
+				case unicode.IsUpper(prev) && unicode.IsUpper(r) &&
+					i+1 < len(runes) && unicode.IsLower(runes[i+1]):
+					// End of an acronym run: HTTPServer → HTTP | Server.
+					flush()
+				}
+			}
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if cur.Len() > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Expand rewrites common relational abbreviations to their full words and
+// returns the expanded token list. Unknown tokens pass through unchanged.
+func Expand(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if exp, ok := abbreviations[t]; ok {
+			out = append(out, exp...)
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Normalize is the full pipeline: Split then Expand.
+func Normalize(ident string) []string {
+	return Expand(Split(ident))
+}
+
+// abbreviations maps frequent relational shorthand to full words.
+var abbreviations = map[string][]string{
+	"no":    {"number"},
+	"num":   {"number"},
+	"nr":    {"number"},
+	"qty":   {"quantity"},
+	"amt":   {"amount"},
+	"addr":  {"address"},
+	"tel":   {"telephone"},
+	"dob":   {"date", "of", "birth"},
+	"desc":  {"description"},
+	"descr": {"description"},
+	"dt":    {"date"},
+	"cust":  {"customer"},
+	"prod":  {"product"},
+	"ord":   {"order"},
+	"emp":   {"employee"},
+	"dept":  {"department"},
+	"msrp":  {"manufacturer", "suggested", "retail", "price"},
+	"pos":   {"position"},
+	"lat":   {"latitude"},
+	"lon":   {"longitude"},
+	"lng":   {"longitude"},
+	"img":   {"image"},
+	"id":    {"identifier"},
+	"uid":   {"identifier"},
+	"fname": {"first", "name"},
+	"lname": {"last", "name"},
+	"mime":  {"mime"},
+}
+
+// Concept returns the canonical concept for a token: its synonym-group head
+// if the token belongs to a curated group, otherwise the token itself.
+//
+// The lexicon models the semantic bridging a pre-trained sentence encoder
+// provides between business vocabulary across database vendors (CLIENT ≈
+// CUSTOMER, SHIPMENT ≈ DELIVERY, …). It deliberately does NOT bridge
+// vocabularies across unrelated domains (driver, circuit, constructor, …),
+// mirroring how Sentence-BERT keeps Formula-One terminology away from
+// order-customer terminology.
+func Concept(tok string) string {
+	if c, ok := synonyms[tok]; ok {
+		return c
+	}
+	return tok
+}
+
+// Concepts maps every token to its concept.
+func Concepts(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = Concept(t)
+	}
+	return out
+}
+
+// synonyms maps tokens to a canonical concept head. Groups are built from
+// common relational business vocabulary.
+var synonyms = map[string]string{
+	// customer group
+	"customer": "customer", "client": "customer", "buyer": "customer",
+	"purchaser": "customer", "account": "customer", "contact": "customer",
+
+	// order group
+	"order": "order", "purchase": "order", "sale": "order",
+
+	// order line group
+	"item": "line", "line": "line", "detail": "line", "position": "line",
+
+	// product group
+	"product": "product", "article": "product", "good": "product",
+	"goods": "product", "merchandise": "product",
+
+	// shipment group
+	"shipment": "shipment", "delivery": "shipment", "shipping": "shipment",
+	"dispatch": "shipment", "shipped": "shipment",
+
+	// address / location group
+	"address": "address", "street": "address", "location": "address",
+
+	// geography
+	"city": "city", "town": "city",
+	"state": "region", "region": "region", "province": "region", "territory": "region",
+	"country": "country", "nation": "country",
+	"postal": "postal", "zip": "postal", "postcode": "postal",
+
+	// person names
+	"name": "name", "title": "name", "label": "name",
+	"first": "first", "given": "first",
+	"last": "last", "sur": "last", "family": "last",
+
+	// communication
+	"phone": "phone", "telephone": "phone", "mobile": "phone", "fax": "phone",
+	"email": "email", "mail": "email",
+	"web": "web", "url": "web", "site": "web", "homepage": "web",
+
+	// money
+	"price": "price", "cost": "price", "charge": "price",
+	"amount": "amount", "total": "amount", "sum": "amount",
+	"payment": "payment", "check": "payment", "invoice": "payment",
+	"credit": "credit", "limit": "limit",
+	"currency": "currency",
+
+	// quantity and inventory
+	"quantity": "quantity", "count": "quantity", "units": "quantity",
+	"stock": "inventory", "inventory": "inventory", "warehouse": "inventory",
+
+	// status / lifecycle
+	"status": "status", "stage": "status",
+	"date": "date", "time": "date", "datetime": "date", "timestamp": "date",
+	"day": "date", "created": "created", "updated": "updated",
+	"required": "required", "birth": "birth",
+
+	// identifiers
+	"identifier": "identifier", "key": "identifier", "code": "identifier",
+	"number": "number",
+
+	// organisation
+	"employee": "employee", "staff": "employee", "worker": "employee",
+	"salesrep": "employee", "rep": "employee", "representative": "employee",
+	"office": "office", "branch": "office", "store": "office", "shop": "office",
+	"vendor": "vendor", "supplier": "vendor", "manufacturer": "vendor",
+
+	// descriptions
+	"description": "description", "comment": "description", "note": "description",
+	"notes": "description", "text": "description", "details": "description",
+	"remark": "description",
+
+	// images
+	"image": "image", "picture": "image", "photo": "image", "logo": "image",
+}
