@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench bench-parallel
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the tier-1 verification gate: formatting, vet, and the full test
+# suite under the race detector.
+ci: fmt vet race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Worker-pool before/after comparison (see DESIGN.md §7). Run on a
+# multicore host to observe real speedup.
+bench-parallel:
+	$(GO) test -run xxx -bench 'Parallel(EncodeAll|MatchAll|Assess)' -cpu 1,4 .

@@ -487,6 +487,68 @@ func BenchmarkAblationEncoderChannels(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Worker-pool before/after benches on OC3-FO. The p1 variants pin the
+// sequential baseline (WithParallelism(1)); the pN variants fan out over
+// GOMAXPROCS workers. Run with -cpu to compare across core counts, e.g.:
+//
+//	go test -bench 'Parallel(EncodeAll|MatchAll|Assess)' -cpu 1,4
+//
+// Speedup only materialises when GOMAXPROCS > 1; on a single core the pN
+// variants measure the pool's scheduling overhead instead.
+
+func benchmarkParallelEncodeAll(b *testing.B, workers int) {
+	pipe := New(WithDimension(384), WithParallelism(workers))
+	schemas := DatasetOC3FO().Schemas
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := pipe.EncodeAll(schemas)
+		if len(sets) != len(schemas) {
+			b.Fatal("missing signature sets")
+		}
+	}
+}
+
+func BenchmarkParallelEncodeAllP1(b *testing.B) { benchmarkParallelEncodeAll(b, 1) }
+func BenchmarkParallelEncodeAllPN(b *testing.B) { benchmarkParallelEncodeAll(b, 0) }
+
+func benchmarkParallelMatchAll(b *testing.B, workers int) {
+	pipe := New(WithDimension(384), WithParallelism(workers))
+	schemas := DatasetOC3FO().Schemas
+	m := NewSimMatcher(0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pairs := pipe.Match(m, schemas); len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+func BenchmarkParallelMatchAllP1(b *testing.B) { benchmarkParallelMatchAll(b, 1) }
+func BenchmarkParallelMatchAllPN(b *testing.B) { benchmarkParallelMatchAll(b, 0) }
+
+func benchmarkParallelAssess(b *testing.B, workers int) {
+	pipe := New(WithDimension(384), WithParallelism(workers))
+	schemas := DatasetOC3FO().Schemas
+	foreign := make([]*Model, 0, len(schemas)-1)
+	for _, s := range schemas[1:] {
+		m, err := pipe.TrainModel(s, 0.8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		foreign = append(foreign, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if verdicts := pipe.Assess(schemas[0], foreign); len(verdicts) == 0 {
+			b.Fatal("no verdicts")
+		}
+	}
+}
+
+func BenchmarkParallelAssessP1(b *testing.B) { benchmarkParallelAssess(b, 1) }
+func BenchmarkParallelAssessPN(b *testing.B) { benchmarkParallelAssess(b, 0) }
+
 func fmtWeight(w float64) string {
 	switch w {
 	case 0:

@@ -19,11 +19,14 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
+	"collabscope"
 	"collabscope/internal/datasets"
 	"collabscope/internal/experiments"
 	"collabscope/internal/metrics"
+	"collabscope/internal/outlier"
 	"collabscope/internal/schema"
 )
 
@@ -42,6 +45,8 @@ func main() {
 		fast       = flag.Bool("fast", false, "reduced settings (smaller dimension and grids)")
 		dim        = flag.Int("dim", 0, "override signature dimensionality")
 		csvDir     = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		detector   = flag.String("detector", "pca:0.5",
+			"scoping detector for the Figure 5-6 curves: "+strings.Join(collabscope.Detectors(), ", ")+" (name or name:param)")
 	)
 	flag.Parse()
 
@@ -53,8 +58,12 @@ func main() {
 	if *dim > 0 {
 		cfg.Dim = *dim
 	}
+	det, err := collabscope.ParseDetector(*detector)
+	if err != nil {
+		fatal(err)
+	}
 
-	r := &runner{cfg: cfg, csvDir: *csvDir, extended: *extended}
+	r := &runner{cfg: cfg, csvDir: *csvDir, extended: *extended, detector: det}
 	if *all {
 		r.table2()
 		r.table3()
@@ -122,6 +131,7 @@ type runner struct {
 	cfg      experiments.Config
 	csvDir   string
 	extended bool
+	detector outlier.Detector
 
 	oc3, ocfo *experiments.Encoded
 }
@@ -219,8 +229,9 @@ func (r *runner) figures56() {
 	for i, enc := range []*experiments.Encoded{oc3, ocfo} {
 		figure := 5 + i
 		fmt.Printf("Figure %d: best scoping vs collaborative scoping on %s\n", figure, enc.Dataset.Name)
-		det := r.cfg.Detectors()[3] // PCA(v=0.5), the paper's best scoping method
-		sc := experiments.ScopingCurves(r.cfg, enc, det)
+		// The paper's best scoping method, PCA(v=0.5), is the default; the
+		// -detector flag swaps in any registered detector.
+		sc := experiments.ScopingCurves(r.cfg, enc, r.detector)
 		cc, err := experiments.CollaborativeCurves(r.cfg, enc)
 		fatal(err)
 		for _, cs := range []experiments.CurveSet{sc, cc} {

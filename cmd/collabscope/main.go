@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 
 	"collabscope"
@@ -54,11 +53,11 @@ func main() {
 // runSuggest proposes an explained-variance setting label-free.
 func runSuggest(args []string) {
 	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
-	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim)
+	pipe := newPipeline(*dim, *workers)
 	v, err := pipe.SuggestVariance(schemas, nil)
 	fatal(err)
 	res, err := pipe.CollaborativeScope(schemas, v)
@@ -76,13 +75,14 @@ func usage() {
 // schema with UNION ALL view skeletons.
 func runIntegrate(args []string) {
 	fs := flag.NewFlagSet("integrate", flag.ExitOnError)
-	matcher := fs.String("matcher", "sim:0.6", "matcher: sim:T, cluster:K, lsh:K, coma:T, flood:T, name:T")
+	matcher := fs.String("matcher", "sim:0.6",
+		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("scope", 0.5, "collaborative scoping variance (0 = integrate originals)")
-	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim)
+	pipe := newPipeline(*dim, *workers)
 	target := schemas
 	if *scopeV > 0 {
 		res, err := pipe.CollaborativeScope(schemas, *scopeV)
@@ -106,14 +106,14 @@ func runTrain(args []string) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	v := fs.Float64("v", 0.8, "global explained variance")
 	out := fs.String("out", "", "model output file (default <schema>.model.json)")
-	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
 	if len(schemas) != 1 {
 		fatalf("train expects exactly one schema file")
 	}
-	pipe := newPipeline(*dim)
+	pipe := newPipeline(*dim, *workers)
 	model, err := pipe.TrainModel(schemas[0], *v)
 	fatal(err)
 
@@ -135,7 +135,7 @@ func runAssess(args []string) {
 	fs := flag.NewFlagSet("assess", flag.ExitOnError)
 	modelsArg := fs.String("models", "", "comma-separated foreign model files (required)")
 	out := fs.String("out", "", "write the streamlined schema as JSON to this file")
-	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 	if *modelsArg == "" {
 		fatalf("-models is required")
@@ -155,7 +155,7 @@ func runAssess(args []string) {
 		models = append(models, m)
 	}
 
-	pipe := newPipeline(*dim)
+	pipe := newPipeline(*dim, *workers)
 	verdicts := pipe.Assess(schemas[0], models)
 	streamlined := schemas[0].Subset(verdicts)
 	fmt.Printf("%s: %d -> %d elements\n", schemas[0].Name,
@@ -210,14 +210,15 @@ func runScope(args []string) {
 	fs := flag.NewFlagSet("scope", flag.ExitOnError)
 	v := fs.Float64("v", 0.8, "global explained variance for collaborative scoping")
 	method := fs.String("method", "collaborative", "scoping method: collaborative or global")
-	detector := fs.String("detector", "pca:0.5", "global scoping detector: zscore, lof:N, pca:V, autoencoder")
+	detector := fs.String("detector", "pca:0.5",
+		"global scoping detector: "+strings.Join(collabscope.Detectors(), ", ")+" (name or name:param)")
 	p := fs.Float64("p", 0.7, "global scoping keep fraction")
 	out := fs.String("out", "", "write streamlined schemas as JSON into this directory")
-	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim)
+	pipe := newPipeline(*dim, *workers)
 
 	var res *collabscope.ScopeResult
 	var err error
@@ -255,13 +256,14 @@ func runScope(args []string) {
 
 func runMatch(args []string) {
 	fs := flag.NewFlagSet("match", flag.ExitOnError)
-	matcher := fs.String("matcher", "lsh:5", "matcher: sim:T, cluster:K, lsh:K")
+	matcher := fs.String("matcher", "lsh:5",
+		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("scope", 0, "collaboratively scope at this variance before matching (0 = off)")
-	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim)
+	pipe := newPipeline(*dim, *workers)
 	target := schemas
 	if *scopeV > 0 {
 		res, err := pipe.CollaborativeScope(schemas, *scopeV)
@@ -279,9 +281,10 @@ func runMatch(args []string) {
 func runEval(args []string) {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	truthPath := fs.String("truth", "", "ground-truth linkages JSON file (required)")
-	matcher := fs.String("matcher", "lsh:5", "matcher: sim:T, cluster:K, lsh:K")
+	matcher := fs.String("matcher", "lsh:5",
+		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("v", 0.8, "collaborative scoping variance (0 = match originals)")
-	dim := fs.Int("dim", 0, "signature dimensionality (default 768)")
+	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 	if *truthPath == "" {
 		fatalf("-truth is required")
@@ -293,7 +296,7 @@ func runEval(args []string) {
 	truth, err := readTruth(string(data))
 	fatal(err)
 
-	pipe := newPipeline(*dim)
+	pipe := newPipeline(*dim, *workers)
 	m := parseMatcher(*matcher)
 
 	sota := collabscope.EvaluateMatch(pipe.Match(m, schemas), truth, schemas)
@@ -308,68 +311,36 @@ func runEval(args []string) {
 	}
 }
 
-func newPipeline(dim int) *collabscope.Pipeline {
-	if dim > 0 {
-		return collabscope.New(collabscope.WithDimension(dim))
-	}
-	return collabscope.New()
+// pipelineFlags registers the flags every subcommand's pipeline shares.
+func pipelineFlags(fs *flag.FlagSet) (dim, workers *int) {
+	dim = fs.Int("dim", 0, "signature dimensionality (default 768)")
+	workers = fs.Int("workers", 0, "worker-pool parallelism (default GOMAXPROCS)")
+	return dim, workers
 }
 
-func parseDetector(spec string) collabscope.Detector {
-	name, param := splitSpec(spec)
-	switch name {
-	case "zscore":
-		return collabscope.NewZScoreDetector()
-	case "lof":
-		n := int(paramOr(param, 20))
-		return collabscope.NewLOFDetector(n)
-	case "pca":
-		return collabscope.NewPCADetector(paramOr(param, 0.5))
-	case "autoencoder", "ae":
-		return collabscope.NewAutoencoderDetector(5, 30, 1)
-	default:
-		fatalf("unknown detector %q", spec)
-		return nil
+func newPipeline(dim, workers int) *collabscope.Pipeline {
+	var opts []collabscope.Option
+	if dim > 0 {
+		opts = append(opts, collabscope.WithDimension(dim))
 	}
+	if workers > 0 {
+		opts = append(opts, collabscope.WithParallelism(workers))
+	}
+	return collabscope.New(opts...)
+}
+
+// parseDetector and parseMatcher resolve "name:param" specs through the
+// library's name-keyed registry; the flag→constructor mapping lives there.
+func parseDetector(spec string) collabscope.Detector {
+	det, err := collabscope.ParseDetector(spec)
+	fatal(err)
+	return det
 }
 
 func parseMatcher(spec string) collabscope.Matcher {
-	name, param := splitSpec(spec)
-	switch name {
-	case "sim":
-		return collabscope.NewSimMatcher(paramOr(param, 0.6))
-	case "cluster":
-		return collabscope.NewClusterMatcher(int(paramOr(param, 5)), 1)
-	case "lsh":
-		return collabscope.NewLSHMatcher(int(paramOr(param, 5)))
-	case "lsh-approx":
-		return collabscope.NewApproxLSHMatcher(int(paramOr(param, 5)), 1)
-	case "coma":
-		return collabscope.NewCompositeMatcher(paramOr(param, 0.6))
-	case "flood":
-		return collabscope.NewFloodingMatcher(paramOr(param, 0.8))
-	case "name":
-		return collabscope.NewNameMatcher(paramOr(param, 0.7))
-	default:
-		fatalf("unknown matcher %q", spec)
-		return nil
-	}
-}
-
-func splitSpec(spec string) (name, param string) {
-	if i := strings.IndexByte(spec, ':'); i >= 0 {
-		return spec[:i], spec[i+1:]
-	}
-	return spec, ""
-}
-
-func paramOr(param string, def float64) float64 {
-	if param == "" {
-		return def
-	}
-	v, err := strconv.ParseFloat(param, 64)
+	m, err := collabscope.ParseMatcher(spec)
 	fatal(err)
-	return v
+	return m
 }
 
 func readTruth(data string) (*collabscope.GroundTruth, error) {
@@ -378,7 +349,8 @@ func readTruth(data string) (*collabscope.GroundTruth, error) {
 
 func fatal(err error) {
 	if err != nil {
-		fatalf("%v", err)
+		// Library errors already carry the "collabscope: " prefix.
+		fatalf("%s", strings.TrimPrefix(err.Error(), "collabscope: "))
 	}
 }
 

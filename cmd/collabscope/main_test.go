@@ -6,32 +6,6 @@ import (
 	"testing"
 )
 
-func TestSplitSpec(t *testing.T) {
-	cases := []struct {
-		in, name, param string
-	}{
-		{"sim:0.6", "sim", "0.6"},
-		{"lsh", "lsh", ""},
-		{"cluster:20", "cluster", "20"},
-		{"a:b:c", "a", "b:c"},
-	}
-	for _, c := range cases {
-		name, param := splitSpec(c.in)
-		if name != c.name || param != c.param {
-			t.Errorf("splitSpec(%q) = %q, %q", c.in, name, param)
-		}
-	}
-}
-
-func TestParamOr(t *testing.T) {
-	if paramOr("", 0.5) != 0.5 {
-		t.Fatal("default not used")
-	}
-	if paramOr("0.8", 0.5) != 0.8 {
-		t.Fatal("parse failed")
-	}
-}
-
 func TestParseDetectorSpecs(t *testing.T) {
 	cases := map[string]string{
 		"zscore":      "Z-Score",
@@ -41,6 +15,9 @@ func TestParseDetectorSpecs(t *testing.T) {
 		"pca:0.7":     "PCA(v=0.70)",
 		"autoencoder": "Autoencoder",
 		"ae":          "Autoencoder",
+		"knn:7":       "kNN(k=7)",
+		"mahalanobis": "Mahalanobis",
+		"isoforest":   "IsolationForest",
 	}
 	for spec, want := range cases {
 		if got := parseDetector(spec).Name(); got != want {
@@ -92,10 +69,13 @@ func TestLoadSchemas(t *testing.T) {
 }
 
 func TestNewPipelineDims(t *testing.T) {
-	if newPipeline(0).Encoder().Dim() != 768 {
+	if newPipeline(0, 0).Encoder().Dim() != 768 {
 		t.Fatal("default dim should be 768")
 	}
-	if newPipeline(128).Encoder().Dim() != 128 {
+	if newPipeline(128, 0).Encoder().Dim() != 128 {
 		t.Fatal("dim override failed")
+	}
+	if newPipeline(0, 3).Parallelism() != 3 {
+		t.Fatal("workers override failed")
 	}
 }

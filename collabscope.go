@@ -1,8 +1,10 @@
 package collabscope
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"collabscope/internal/core"
 	"collabscope/internal/datasets"
@@ -94,9 +96,17 @@ func ReadGroundTruthJSON(r io.Reader) (*GroundTruth, error) {
 func ReadModelJSON(r io.Reader) (*Model, error) { return core.ReadModelJSON(r) }
 
 // Pipeline bundles the encoder shared by all schemas — the globally agreed
-// language model E of collaborative scoping phase (I).
+// language model E of collaborative scoping phase (I) — together with the
+// worker-pool parallelism every stage fans out on.
+//
+// All stages are deterministic: the same inputs produce bit-identical
+// results for any parallelism setting. Each method has a Context variant
+// (CollaborativeScopeContext, GlobalScopeContext, MatchContext, …) that
+// supports cancellation mid-run; the plain methods are thin
+// context.Background() wrappers around them.
 type Pipeline struct {
-	enc embed.Encoder
+	enc     embed.Encoder
+	workers int
 }
 
 // Option configures a Pipeline.
@@ -113,9 +123,23 @@ func WithDimension(dim int) Option {
 	return func(p *Pipeline) { p.enc = embed.NewHashEncoder(embed.WithDim(dim)) }
 }
 
-// New returns a pipeline with the default 768-dimensional encoder.
+// WithParallelism sets the worker count used by every pipeline stage
+// (encoding, matching, training, assessment). n ≤ 0 restores the default,
+// runtime.GOMAXPROCS(0). Results are identical for any setting; n only
+// controls how many cores the work spreads over.
+func WithParallelism(n int) Option {
+	return func(p *Pipeline) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		p.workers = n
+	}
+}
+
+// New returns a pipeline with the default 768-dimensional encoder and
+// GOMAXPROCS-wide parallelism.
 func New(opts ...Option) *Pipeline {
-	p := &Pipeline{enc: embed.NewHashEncoder()}
+	p := &Pipeline{enc: embed.NewHashEncoder(), workers: runtime.GOMAXPROCS(0)}
 	for _, o := range opts {
 		o(p)
 	}
@@ -125,12 +149,29 @@ func New(opts ...Option) *Pipeline {
 // Encoder returns the pipeline's signature encoder.
 func (p *Pipeline) Encoder() Encoder { return p.enc }
 
+// Parallelism returns the pipeline's worker count.
+func (p *Pipeline) Parallelism() int { return p.workers }
+
 // Encode serialises and encodes every element of a schema.
-func (p *Pipeline) Encode(s *Schema) *SignatureSet { return embed.EncodeSchema(p.enc, s) }
+func (p *Pipeline) Encode(s *Schema) *SignatureSet {
+	set, _ := p.EncodeContext(context.Background(), s)
+	return set
+}
+
+// EncodeContext is Encode with cancellation.
+func (p *Pipeline) EncodeContext(ctx context.Context, s *Schema) (*SignatureSet, error) {
+	return embed.EncodeSchemaContext(ctx, p.workers, p.enc, s)
+}
 
 // EncodeAll encodes each schema independently with the shared encoder.
 func (p *Pipeline) EncodeAll(schemas []*Schema) []*SignatureSet {
-	return embed.EncodeSchemas(p.enc, schemas)
+	sets, _ := p.EncodeAllContext(context.Background(), schemas)
+	return sets
+}
+
+// EncodeAllContext is EncodeAll with cancellation.
+func (p *Pipeline) EncodeAllContext(ctx context.Context, schemas []*Schema) ([]*SignatureSet, error) {
+	return embed.EncodeSchemasContext(ctx, p.workers, p.enc, schemas)
 }
 
 // ScopeResult is the outcome of a scoping run.
@@ -163,11 +204,22 @@ func newScopeResult(schemas []*Schema, keep map[ElementID]bool) *ScopeResult {
 // v ∈ (0, 1], and the distributed linkability assessment. It returns the
 // linkability verdicts and the streamlined schemas.
 func (p *Pipeline) CollaborativeScope(schemas []*Schema, v float64) (*ScopeResult, error) {
-	scoper, err := core.NewScoper(p.EncodeAll(schemas))
+	return p.CollaborativeScopeContext(context.Background(), schemas, v)
+}
+
+// CollaborativeScopeContext is CollaborativeScope with cancellation:
+// encoding, per-schema training, and the distributed assessment all stop
+// promptly once ctx is done, returning ctx.Err().
+func (p *Pipeline) CollaborativeScopeContext(ctx context.Context, schemas []*Schema, v float64) (*ScopeResult, error) {
+	sets, err := p.EncodeAllContext(ctx, schemas)
 	if err != nil {
 		return nil, err
 	}
-	keep, err := scoper.Scope(v)
+	scoper, err := core.NewScoperContext(ctx, p.workers, sets, core.AssessConfig{})
+	if err != nil {
+		return nil, err
+	}
+	keep, err := scoper.ScopeContext(ctx, v)
 	if err != nil {
 		return nil, err
 	}
@@ -177,45 +229,98 @@ func (p *Pipeline) CollaborativeScope(schemas []*Schema, v float64) (*ScopeResul
 // SuggestVariance proposes an explained-variance setting label-free, by
 // locating the saturation cliff of the kept-count curve over the grid (an
 // extension; the paper leaves the ideal v scenario-dependent). A nil grid
-// uses 1.0 … 0.01 in 0.05 steps.
+// uses DefaultVarianceGrid.
 func (p *Pipeline) SuggestVariance(schemas []*Schema, grid []float64) (float64, error) {
-	scoper, err := core.NewScoper(p.EncodeAll(schemas))
+	return p.SuggestVarianceContext(context.Background(), schemas, grid)
+}
+
+// SuggestVarianceContext is SuggestVariance with cancellation; the grid
+// points fan out over the worker pool.
+func (p *Pipeline) SuggestVarianceContext(ctx context.Context, schemas []*Schema, grid []float64) (float64, error) {
+	sets, err := p.EncodeAllContext(ctx, schemas)
+	if err != nil {
+		return 0, err
+	}
+	scoper, err := core.NewScoperContext(ctx, p.workers, sets, core.AssessConfig{})
 	if err != nil {
 		return 0, err
 	}
 	if grid == nil {
-		for v := 1.0; v > 0.02; v -= 0.05 {
-			grid = append(grid, v)
-		}
-		grid = append(grid, 0.01)
+		grid = DefaultVarianceGrid()
 	}
-	return scoper.SuggestVariance(grid)
+	return scoper.SuggestVarianceContext(ctx, grid)
+}
+
+// DefaultVarianceGrid returns the explained-variance grid SuggestVariance
+// sweeps when none is given: 1.00, 0.95, … 0.05 in exact 0.05 steps, with a
+// final 0.01 probe. Points are generated from integer steps, so each value
+// is the float64 nearest its decimal (no accumulated subtraction drift).
+func DefaultVarianceGrid() []float64 {
+	grid := make([]float64, 0, 21)
+	for i := 20; i >= 1; i-- {
+		grid = append(grid, float64(i)/20)
+	}
+	return append(grid, 0.01)
 }
 
 // TrainModel runs Algorithm 1 for a single schema, returning the local
 // model that can be exchanged with other parties.
 func (p *Pipeline) TrainModel(s *Schema, v float64) (*Model, error) {
-	return core.Train(p.Encode(s), v)
+	return p.TrainModelContext(context.Background(), s, v)
+}
+
+// TrainModelContext is TrainModel with cancellation.
+func (p *Pipeline) TrainModelContext(ctx context.Context, s *Schema, v float64) (*Model, error) {
+	set, err := p.EncodeContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return core.Train(set, v)
 }
 
 // Assess runs Algorithm 2 for a single schema against foreign models,
 // returning the linkability verdict for each local element.
 func (p *Pipeline) Assess(s *Schema, foreign []*Model) map[ElementID]bool {
-	return core.Assess(p.Encode(s), foreign)
+	verdicts, _ := p.AssessContext(context.Background(), s, foreign)
+	return verdicts
+}
+
+// AssessContext is Assess with cancellation; the element-by-foreign-model
+// passes fan out over the worker pool.
+func (p *Pipeline) AssessContext(ctx context.Context, s *Schema, foreign []*Model) (map[ElementID]bool, error) {
+	set, err := p.EncodeContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return core.AssessContext(ctx, p.workers, set, foreign, core.AssessConfig{})
 }
 
 // GlobalScope runs the prior-work scoping baseline: rank the unified
 // signature set with the detector and keep the fraction keep ∈ [0, 1] with
 // the lowest outlier scores.
 func (p *Pipeline) GlobalScope(schemas []*Schema, det Detector, keep float64) (*ScopeResult, error) {
+	return p.GlobalScopeContext(context.Background(), schemas, det, keep)
+}
+
+// GlobalScopeContext is GlobalScope with cancellation. Detectors that
+// implement context-aware scoring (LOF, kNN, Mahalanobis, the autoencoder
+// ensemble) honour ctx mid-scan and fan out over the worker pool.
+func (p *Pipeline) GlobalScopeContext(ctx context.Context, schemas []*Schema, det Detector, keep float64) (*ScopeResult, error) {
 	if det == nil {
 		return nil, fmt.Errorf("collabscope: nil detector")
 	}
-	union := embed.Union(p.EncodeAll(schemas))
+	sets, err := p.EncodeAllContext(ctx, schemas)
+	if err != nil {
+		return nil, err
+	}
+	union := embed.Union(sets)
 	if union.Len() == 0 {
 		return nil, fmt.Errorf("collabscope: no schema elements to scope")
 	}
-	ranking := scoping.Rank(det, union)
+	ranking, err := scoping.RankContext(ctx, p.workers, det, union)
+	if err != nil {
+		return nil, err
+	}
 	return newScopeResult(schemas, completeKeep(union, ranking.Scope(keep))), nil
 }
 
@@ -300,7 +405,19 @@ func NewHACMatcher(cutoff float64) Matcher { return match.HACMatcher{Cutoff: cut
 // Match runs a matcher over every pair of schemas and returns the
 // deduplicated union of linkage candidates.
 func (p *Pipeline) Match(m Matcher, schemas []*Schema) []Pair {
-	return match.MatchAll(m, p.EncodeAll(schemas))
+	pairs, _ := p.MatchContext(context.Background(), m, schemas)
+	return pairs
+}
+
+// MatchContext is Match with cancellation; the O(k²) schema pairs fan out
+// over the worker pool and the candidate union is folded in enumeration
+// order, so the pair set is identical for any parallelism setting.
+func (p *Pipeline) MatchContext(ctx context.Context, m Matcher, schemas []*Schema) ([]Pair, error) {
+	sets, err := p.EncodeAllContext(ctx, schemas)
+	if err != nil {
+		return nil, err
+	}
+	return match.MatchAllContext(ctx, p.workers, m, sets)
 }
 
 // MatchHolistic clusters the union of ALL schemas once per element kind

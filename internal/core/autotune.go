@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"collabscope/internal/parallel"
 )
 
 // SuggestVariance proposes an explained-variance setting without any
@@ -18,15 +21,23 @@ import (
 // steepest jump — the last setting on the discriminative side of the
 // cliff, which lands inside the paper's productive band.
 func (s *Scoper) SuggestVariance(grid []float64) (float64, error) {
+	return s.SuggestVarianceContext(context.Background(), grid)
+}
+
+// SuggestVarianceContext is SuggestVariance with cancellation. The grid
+// points — each a full per-schema training and assessment round — fan out
+// over the Scoper's worker pool; the kept-count curve is assembled in
+// descending-grid order, so the suggestion is identical for any worker
+// count.
+func (s *Scoper) SuggestVarianceContext(ctx context.Context, grid []float64) (float64, error) {
 	if len(grid) < 3 {
 		return 0, fmt.Errorf("core: need at least 3 grid points, got %d", len(grid))
 	}
 	// Evaluate kept counts over the descending grid.
 	vs := append([]float64(nil), grid...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(vs)))
-	counts := make([]float64, len(vs))
-	for i, v := range vs {
-		keep, err := s.Scope(v)
+	counts, err := parallel.Map(ctx, s.workers, vs, func(_ int, v float64) (float64, error) {
+		keep, err := s.ScopeContext(ctx, v)
 		if err != nil {
 			return 0, err
 		}
@@ -36,7 +47,10 @@ func (s *Scoper) SuggestVariance(grid []float64) (float64, error) {
 				n++
 			}
 		}
-		counts[i] = float64(n)
+		return float64(n), nil
+	})
+	if err != nil {
+		return 0, err
 	}
 
 	bestIdx, bestSlope := 0, -1.0

@@ -13,12 +13,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"collabscope/internal/embed"
 	"collabscope/internal/linalg"
 	"collabscope/internal/metrics"
+	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
 
@@ -147,6 +148,22 @@ func Assess(local *embed.SignatureSet, foreign []*Model) map[schema.ElementID]bo
 
 // AssessWith is Assess with explicit configuration.
 func AssessWith(local *embed.SignatureSet, foreign []*Model, cfg AssessConfig) map[schema.ElementID]bool {
+	verdict, _ := AssessContext(context.Background(), 0, local, foreign, cfg)
+	return verdict
+}
+
+// AssessContext is AssessWith with cancellation and an explicit worker
+// count (≤ 0 means GOMAXPROCS). The element-by-foreign-model error passes —
+// the |S|·|M| term of the paper's complexity analysis — fan out per model;
+// verdicts are folded sequentially in model order, so the result is
+// identical for any worker count.
+func AssessContext(ctx context.Context, workers int, local *embed.SignatureSet, foreign []*Model, cfg AssessConfig) (map[schema.ElementID]bool, error) {
+	errsByModel, err := parallel.Map(ctx, workers, foreign, func(_ int, m *Model) ([]float64, error) {
+		return m.Errors(local.Matrix), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	verdict := make(map[schema.ElementID]bool, local.Len())
 	if cfg.Mode == AllModels {
 		for _, id := range local.IDs {
@@ -157,10 +174,9 @@ func AssessWith(local *embed.SignatureSet, foreign []*Model, cfg AssessConfig) m
 			verdict[id] = false
 		}
 	}
-	for _, m := range foreign {
-		errs := m.Errors(local.Matrix)
+	for k, m := range foreign {
 		bound := m.Range * (1 + cfg.RelaxEpsilon)
-		for i, e := range errs {
+		for i, e := range errsByModel[k] {
 			accepted := e <= bound
 			id := local.IDs[i]
 			if cfg.Mode == AllModels {
@@ -170,16 +186,17 @@ func AssessWith(local *embed.SignatureSet, foreign []*Model, cfg AssessConfig) m
 			}
 		}
 	}
-	return verdict
+	return verdict, nil
 }
 
 // Scoper orchestrates collaborative scoping across a set of schemas. It
 // fits each schema's full PCA once, so sweeping the explained variance v is
 // cheap (truncation only).
 type Scoper struct {
-	sets []*embed.SignatureSet
-	full []*linalg.PCA
-	cfg  AssessConfig
+	sets    []*embed.SignatureSet
+	full    []*linalg.PCA
+	cfg     AssessConfig
+	workers int
 }
 
 // NewScoper prepares collaborative scoping over the schemas' signature
@@ -190,10 +207,18 @@ func NewScoper(sets []*embed.SignatureSet) (*Scoper, error) {
 
 // NewScoperWith is NewScoper with explicit assessment configuration.
 func NewScoperWith(sets []*embed.SignatureSet, cfg AssessConfig) (*Scoper, error) {
+	return NewScoperContext(context.Background(), 0, sets, cfg)
+}
+
+// NewScoperContext is NewScoperWith with cancellation and an explicit
+// worker count (≤ 0 means GOMAXPROCS). The per-schema decompositions fan
+// out over the pool, and the worker count is remembered for every
+// subsequent training and assessment round of this Scoper.
+func NewScoperContext(ctx context.Context, workers int, sets []*embed.SignatureSet, cfg AssessConfig) (*Scoper, error) {
 	if len(sets) < 2 {
 		return nil, fmt.Errorf("core: collaborative scoping needs ≥ 2 schemas, got %d", len(sets))
 	}
-	s := &Scoper{sets: sets, cfg: cfg}
+	s := &Scoper{sets: sets, cfg: cfg, workers: workers}
 	dim := -1
 	for i, set := range sets {
 		if set.Len() == 0 {
@@ -205,7 +230,14 @@ func NewScoperWith(sets []*embed.SignatureSet, cfg AssessConfig) (*Scoper, error
 			return nil, fmt.Errorf("core: signature set %d has dimension %d, others %d — all schemas must share the global encoder",
 				i, set.Matrix.Cols(), dim)
 		}
-		s.full = append(s.full, s.fit(set))
+	}
+	s.full = make([]*linalg.PCA, len(sets))
+	err := parallel.ForEach(ctx, workers, len(sets), func(i int) error {
+		s.full[i] = s.fit(sets[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -243,23 +275,27 @@ func (s *Scoper) UpdateSchema(i int, set *embed.SignatureSet) error {
 // independently, as the paper's complexity analysis notes — so the work
 // fans out across schemas.
 func (s *Scoper) Models(v float64) ([]*Model, error) {
+	return s.ModelsContext(context.Background(), v)
+}
+
+// ModelsContext is Models with cancellation; the Scoper's worker count
+// bounds the fan-out.
+func (s *Scoper) ModelsContext(ctx context.Context, v float64) ([]*Model, error) {
 	if v <= 0 || v > 1 {
 		return nil, fmt.Errorf("core: explained variance %v outside (0, 1]", v)
 	}
 	models := make([]*Model, len(s.sets))
-	var wg sync.WaitGroup
-	for i := range s.sets {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			set := s.sets[i]
-			pca := s.full[i].Truncate(v)
-			m := &Model{Schema: set.IDs[0].Schema, Variance: v, pca: pca}
-			m.Range = maxOf(pca.ReconstructionErrors(set.Matrix))
-			models[i] = m
-		}(i)
+	err := parallel.ForEach(ctx, s.workers, len(s.sets), func(i int) error {
+		set := s.sets[i]
+		pca := s.full[i].Truncate(v)
+		m := &Model{Schema: set.IDs[0].Schema, Variance: v, pca: pca}
+		m.Range = maxOf(pca.ReconstructionErrors(set.Matrix))
+		models[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return models, nil
 }
 
@@ -268,26 +304,35 @@ func (s *Scoper) Models(v float64) ([]*Model, error) {
 // model recognises as linkable. Per-schema assessments run in parallel,
 // mirroring the paper's distributed execution model.
 func (s *Scoper) Scope(v float64) (map[schema.ElementID]bool, error) {
-	models, err := s.Models(v)
+	return s.ScopeContext(context.Background(), v)
+}
+
+// ScopeContext is Scope with cancellation; per-schema assessments fan out
+// over the Scoper's worker pool and the keep-set is folded in schema order,
+// so the result is identical for any worker count.
+func (s *Scoper) ScopeContext(ctx context.Context, v float64) (map[schema.ElementID]bool, error) {
+	models, err := s.ModelsContext(ctx, v)
 	if err != nil {
 		return nil, err
 	}
 	verdicts := make([]map[schema.ElementID]bool, len(s.sets))
-	var wg sync.WaitGroup
-	for i := range s.sets {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			foreign := make([]*Model, 0, len(models)-1)
-			for j, m := range models {
-				if j != i {
-					foreign = append(foreign, m)
-				}
+	err = parallel.ForEach(ctx, s.workers, len(s.sets), func(i int) error {
+		foreign := make([]*Model, 0, len(models)-1)
+		for j, m := range models {
+			if j != i {
+				foreign = append(foreign, m)
 			}
-			verdicts[i] = AssessWith(s.sets[i], foreign, s.cfg)
-		}(i)
+		}
+		verdict, aerr := AssessContext(ctx, 1, s.sets[i], foreign, s.cfg)
+		if aerr != nil {
+			return aerr
+		}
+		verdicts[i] = verdict
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	keep := map[schema.ElementID]bool{}
 	for _, v := range verdicts {
 		for id, linkable := range v {
@@ -314,12 +359,17 @@ func (s *Scoper) Streamline(schemas []*schema.Schema, v float64) ([]*schema.Sche
 // Sweep evaluates collaborative scoping over a grid of explained-variance
 // values against ground-truth labels, one confusion matrix per v.
 func (s *Scoper) Sweep(labels map[schema.ElementID]bool, grid []float64) ([]metrics.SweepEntry, error) {
+	return s.SweepContext(context.Background(), labels, grid)
+}
+
+// SweepContext is Sweep with cancellation between grid points.
+func (s *Scoper) SweepContext(ctx context.Context, labels map[schema.ElementID]bool, grid []float64) ([]metrics.SweepEntry, error) {
 	entries := make([]metrics.SweepEntry, 0, len(grid))
 	for _, v := range grid {
 		if v <= 0 {
 			continue // v = 0 retains no variance; undefined in the paper's (1..0) range
 		}
-		keep, err := s.Scope(v)
+		keep, err := s.ScopeContext(ctx, v)
 		if err != nil {
 			return nil, err
 		}

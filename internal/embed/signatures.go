@@ -1,7 +1,10 @@
 package embed
 
 import (
+	"context"
+
 	"collabscope/internal/linalg"
+	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
 
@@ -19,14 +22,16 @@ func (s *SignatureSet) Len() int { return len(s.IDs) }
 // for attributes) and encodes the sequences into a signature set — phase (I)
 // of collaborative scoping, lines 1-2 of Algorithm 1.
 func EncodeSchema(enc Encoder, s *schema.Schema) *SignatureSet {
-	els := s.Elements()
-	ids := make([]schema.ElementID, len(els))
-	m := linalg.NewDense(len(els), enc.Dim())
-	for i, el := range els {
-		ids[i] = el.ID
-		copy(m.RowView(i), enc.Encode(el.Text))
-	}
-	return &SignatureSet{IDs: ids, Matrix: m}
+	set, _ := EncodeSchemaContext(context.Background(), 0, enc, s)
+	return set
+}
+
+// EncodeSchemaContext is EncodeSchema with cancellation and an explicit
+// worker count (≤ 0 means GOMAXPROCS). Per-element encoding fans out over
+// the pool; each worker writes its own signature row, so the result is
+// identical for any worker count.
+func EncodeSchemaContext(ctx context.Context, workers int, enc Encoder, s *schema.Schema) (*SignatureSet, error) {
+	return encodeElements(ctx, workers, enc, s.Elements())
 }
 
 // EncodeSchemaWithSamples is EncodeSchema with attribute serialisations
@@ -34,23 +39,43 @@ func EncodeSchema(enc Encoder, s *schema.Schema) *SignatureSet {
 // shows this enrichment helps some pairs and hurts others, and reduces
 // matching effectiveness overall.
 func EncodeSchemaWithSamples(enc Encoder, s *schema.Schema) *SignatureSet {
-	els := s.ElementsWithSamples()
+	set, _ := encodeElements(context.Background(), 0, enc, s.ElementsWithSamples())
+	return set
+}
+
+func encodeElements(ctx context.Context, workers int, enc Encoder, els []schema.Element) (*SignatureSet, error) {
 	ids := make([]schema.ElementID, len(els))
 	m := linalg.NewDense(len(els), enc.Dim())
-	for i, el := range els {
-		ids[i] = el.ID
-		copy(m.RowView(i), enc.Encode(el.Text))
+	err := parallel.ForEach(ctx, workers, len(els), func(i int) error {
+		ids[i] = els[i].ID
+		copy(m.RowView(i), enc.Encode(els[i].Text))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &SignatureSet{IDs: ids, Matrix: m}
+	return &SignatureSet{IDs: ids, Matrix: m}, nil
 }
 
 // EncodeSchemas encodes each schema independently with the shared encoder.
 func EncodeSchemas(enc Encoder, schemas []*schema.Schema) []*SignatureSet {
+	out, _ := EncodeSchemasContext(context.Background(), 0, enc, schemas)
+	return out
+}
+
+// EncodeSchemasContext is EncodeSchemas with cancellation and an explicit
+// worker count. Schemas encode sequentially while their elements fan out,
+// keeping the pool saturated without nesting pools.
+func EncodeSchemasContext(ctx context.Context, workers int, enc Encoder, schemas []*schema.Schema) ([]*SignatureSet, error) {
 	out := make([]*SignatureSet, len(schemas))
 	for i, s := range schemas {
-		out[i] = EncodeSchema(enc, s)
+		set, err := EncodeSchemaContext(ctx, workers, enc, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = set
 	}
-	return out
+	return out, nil
 }
 
 // Union concatenates signature sets into one, preserving order — the

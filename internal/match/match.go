@@ -10,6 +10,7 @@
 package match
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,6 +18,7 @@ import (
 	"collabscope/internal/cluster"
 	"collabscope/internal/embed"
 	"collabscope/internal/linalg"
+	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
 
@@ -194,16 +196,36 @@ func filterKind(s *embed.SignatureSet, kind schema.ElementKind) *embed.Signature
 // MatchAll runs the matcher over every pair of schemas and returns the
 // deduplicated union of candidates — multi-source matching.
 func MatchAll(m Matcher, sets []*embed.SignatureSet) []Pair {
-	seen := map[Pair]bool{}
-	var out []Pair
+	pairs, _ := MatchAllContext(context.Background(), 0, m, sets)
+	return pairs
+}
+
+// MatchAllContext is MatchAll with cancellation and an explicit worker
+// count (≤ 0 means GOMAXPROCS). The O(k²) schema pairs fan out over the
+// pool; candidates are deduplicated in pair-enumeration order and sorted,
+// so the result is identical for any worker count.
+func MatchAllContext(ctx context.Context, workers int, m Matcher, sets []*embed.SignatureSet) ([]Pair, error) {
+	type task struct{ i, j int }
+	var tasks []task
 	for i := 0; i < len(sets); i++ {
 		for j := i + 1; j < len(sets); j++ {
-			for _, p := range m.Match(sets[i], sets[j]) {
-				p = p.Canonical()
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-				}
+			tasks = append(tasks, task{i, j})
+		}
+	}
+	batches, err := parallel.Map(ctx, workers, tasks, func(_ int, t task) ([]Pair, error) {
+		return m.Match(sets[t.i], sets[t.j]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[Pair]bool{}
+	var out []Pair
+	for _, batch := range batches {
+		for _, p := range batch {
+			p = p.Canonical()
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
 			}
 		}
 	}
@@ -213,7 +235,7 @@ func MatchAll(m Matcher, sets []*embed.SignatureSet) []Pair {
 		}
 		return less(out[i].B, out[j].B)
 	})
-	return out
+	return out, nil
 }
 
 // Eval holds the match-quality metrics of Section 4.2.

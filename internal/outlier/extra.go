@@ -1,12 +1,14 @@
 package outlier
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"collabscope/internal/linalg"
+	"collabscope/internal/parallel"
 )
 
 // This file adds outlier detectors beyond the paper's four baselines,
@@ -34,18 +36,25 @@ func (d KNNDistance) k() int {
 
 // Scores implements Detector.
 func (d KNNDistance) Scores(x *linalg.Dense) []float64 {
+	out, _ := d.ScoresContext(context.Background(), 0, x)
+	return out
+}
+
+// ScoresContext implements ContextDetector. The per-point neighbour scans
+// fan out over the pool; each worker owns its point's score slot, so the
+// scores are identical for any worker count.
+func (d KNNDistance) ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([]float64, error) {
 	n := x.Rows()
 	out := make([]float64, n)
 	if n <= 1 {
-		return out
+		return out, ctx.Err()
 	}
 	k := d.k()
 	if k >= n {
 		k = n - 1
 	}
-	dists := make([]float64, 0, n-1)
-	for i := 0; i < n; i++ {
-		dists = dists[:0]
+	err := parallel.ForEach(ctx, workers, n, func(i int) error {
+		dists := make([]float64, 0, n-1)
 		for j := 0; j < n; j++ {
 			if j != i {
 				dists = append(dists, linalg.Distance(x.RowView(i), x.RowView(j)))
@@ -57,8 +66,12 @@ func (d KNNDistance) Scores(x *linalg.Dense) []float64 {
 			sum += v
 		}
 		out[i] = sum / float64(k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // Mahalanobis scores each row by its Mahalanobis distance to the data mean,
@@ -75,10 +88,17 @@ func (m Mahalanobis) Name() string { return "Mahalanobis" }
 
 // Scores implements Detector.
 func (m Mahalanobis) Scores(x *linalg.Dense) []float64 {
+	out, _ := m.ScoresContext(context.Background(), 0, x)
+	return out
+}
+
+// ScoresContext implements ContextDetector. The shared decomposition runs
+// once; the per-row distance accumulation fans out over the pool.
+func (m Mahalanobis) ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([]float64, error) {
 	n, d := x.Rows(), x.Cols()
 	out := make([]float64, n)
 	if n == 0 || d == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	lambda := m.Shrinkage
 	if lambda <= 0 {
@@ -103,12 +123,12 @@ func (m Mahalanobis) Scores(x *linalg.Dense) []float64 {
 		avgVar /= float64(len(vars))
 	}
 	if avgVar == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	for i := range vars {
 		vars[i] = (1-lambda)*vars[i] + lambda*avgVar
 	}
-	for i := 0; i < n; i++ {
+	err := parallel.ForEach(ctx, workers, n, func(i int) error {
 		var sum float64
 		row := proj.RowView(i)
 		for j, v := range row {
@@ -117,8 +137,12 @@ func (m Mahalanobis) Scores(x *linalg.Dense) []float64 {
 			}
 		}
 		out[i] = math.Sqrt(sum)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 func maxInt(a, b int) int {

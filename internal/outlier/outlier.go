@@ -8,12 +8,14 @@
 package outlier
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"collabscope/internal/linalg"
 	"collabscope/internal/nn"
+	"collabscope/internal/parallel"
 )
 
 // Detector scores each row of a signature matrix; higher is more anomalous.
@@ -22,6 +24,15 @@ type Detector interface {
 	Name() string
 	// Scores returns one outlier score per row of x.
 	Scores(x *linalg.Dense) []float64
+}
+
+// ContextDetector is implemented by detectors whose scoring supports
+// cancellation and worker-pool parallelism. ScoresContext(ctx, workers, x)
+// must return bit-identical scores for any worker count (≤ 0 means
+// GOMAXPROCS).
+type ContextDetector interface {
+	Detector
+	ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([]float64, error)
 }
 
 // ZScore scores each row by the Euclidean norm of its per-dimension
@@ -84,10 +95,19 @@ func (l LOF) k() int {
 // Scores implements Detector. Points in dense neighbourhoods score ≈ 1;
 // isolated points score higher.
 func (l LOF) Scores(x *linalg.Dense) []float64 {
+	out, _ := l.ScoresContext(context.Background(), 0, x)
+	return out
+}
+
+// ScoresContext implements ContextDetector. Each phase — the pairwise
+// distance matrix, the k-neighbourhoods, the reachability densities, and
+// the final factors — fans out per point; every worker owns disjoint rows,
+// so the scores are identical for any worker count.
+func (l LOF) ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([]float64, error) {
 	n := x.Rows()
 	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	k := l.k()
 	if k >= n {
@@ -98,29 +118,33 @@ func (l LOF) Scores(x *linalg.Dense) []float64 {
 		for i := range out {
 			out[i] = 1
 		}
-		return out
+		return out, ctx.Err()
 	}
 
-	// Pairwise distances.
+	// Pairwise distances. Worker i fills the upper-triangle row i and
+	// mirrors it; each (i, j) cell is written exactly once.
 	dist := make([][]float64, n)
 	for i := range dist {
 		dist[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	err := parallel.ForEach(ctx, workers, n, func(i int) error {
 		for j := i + 1; j < n; j++ {
 			d := linalg.Distance(x.RowView(i), x.RowView(j))
 			dist[i][j] = d
 			dist[j][i] = d
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// k-distance and k-neighbourhood (all points within k-distance,
 	// honouring ties as in the original definition).
 	kdist := make([]float64, n)
 	neigh := make([][]int, n)
-	order := make([]int, n-1)
-	for i := 0; i < n; i++ {
-		idx := order[:0]
+	err = parallel.ForEach(ctx, workers, n, func(i int) error {
+		idx := make([]int, 0, n-1)
 		for j := 0; j < n; j++ {
 			if j != i {
 				idx = append(idx, j)
@@ -138,11 +162,15 @@ func (l LOF) Scores(x *linalg.Dense) []float64 {
 			}
 		}
 		neigh[i] = nb
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Local reachability density.
 	lrd := make([]float64, n)
-	for i := 0; i < n; i++ {
+	err = parallel.ForEach(ctx, workers, n, func(i int) error {
 		var sum float64
 		for _, j := range neigh[i] {
 			reach := dist[i][j]
@@ -156,10 +184,14 @@ func (l LOF) Scores(x *linalg.Dense) []float64 {
 		} else {
 			lrd[i] = float64(len(neigh[i])) / sum
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// LOF = mean neighbour-lrd over own lrd.
-	for i := 0; i < n; i++ {
+	err = parallel.ForEach(ctx, workers, n, func(i int) error {
 		var sum float64
 		for _, j := range neigh[i] {
 			if math.IsInf(lrd[i], 1) {
@@ -169,8 +201,12 @@ func (l LOF) Scores(x *linalg.Dense) []float64 {
 			}
 		}
 		out[i] = sum / float64(len(neigh[i]))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // PCA scores rows by their reconstruction error under a principal-component
@@ -217,10 +253,20 @@ func (a Autoencoder) Name() string { return "Autoencoder" }
 
 // Scores implements Detector.
 func (a Autoencoder) Scores(x *linalg.Dense) []float64 {
+	out, _ := a.ScoresContext(context.Background(), 0, x)
+	return out
+}
+
+// ScoresContext implements ContextDetector. Ensemble members train in
+// parallel — each already derives its own RNG seeds from Seed, so member m
+// trains identically wherever it runs — and the per-member errors are
+// summed in member order, keeping the scores bit-identical for any worker
+// count.
+func (a Autoencoder) ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([]float64, error) {
 	n := x.Rows()
 	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	hidden := a.Hidden
 	if len(hidden) == 0 {
@@ -234,17 +280,27 @@ func (a Autoencoder) Scores(x *linalg.Dense) []float64 {
 	if epochs <= 0 {
 		epochs = 50
 	}
-	for m := 0; m < models; m++ {
+	members := make([]int, models)
+	for m := range members {
+		members[m] = m
+	}
+	perMember, err := parallel.Map(ctx, workers, members, func(_ int, m int) ([]float64, error) {
 		ae := nn.NewAutoencoder(x.Cols(), a.Seed+int64(m)*7919, hidden...)
 		cfg := nn.DefaultTrainConfig()
 		cfg.Epochs = epochs
 		cfg.Seed = a.Seed + int64(m)
 		ae.Fit(x, cfg)
-		for i, e := range ae.ReconstructionErrors(x) {
+		return ae.ReconstructionErrors(x), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, errs := range perMember {
+		for i, e := range errs {
 			out[i] += e
 		}
 	}
-	return out
+	return out, nil
 }
 
 // defaultHidden scales the paper's 100|10|100 architecture to the input

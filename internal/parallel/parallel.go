@@ -1,0 +1,133 @@
+// Package parallel provides the worker-pool primitives the hot paths fan
+// out on: signature encoding, pairwise matching, Algorithm 2's
+// element-by-foreign-model assessment, and the outlier baselines' distance
+// scans are all embarrassingly parallel across items.
+//
+// The contract every caller relies on:
+//
+//   - Determinism: results are index-ordered. Map writes result i from item
+//     i; no reduction order depends on goroutine scheduling. Callers that
+//     fold results do so sequentially over the ordered slice, so outputs
+//     are bit-identical regardless of worker count.
+//   - First-error propagation: the error of the LOWEST item index is
+//     returned, again independent of scheduling. A failing item cancels
+//     the remaining work.
+//   - Cancellation: a cancelled context stops the pool promptly and
+//     ForEach/Map return ctx.Err(). Items already started finish; items
+//     not yet claimed never run.
+//   - Degradation: workers ≤ 0 means runtime.GOMAXPROCS(0); a pool of one
+//     worker (or a single item) runs inline on the calling goroutine, so
+//     sequential use pays no synchronisation cost.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count request: n if positive, otherwise
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach calls fn(i) for every i in [0, n) using up to workers goroutines
+// (GOMAXPROCS if workers ≤ 0). It returns the error of the lowest failing
+// index, or ctx.Err() if the context is cancelled first.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	return forEach(ctx, workers, n, fn)
+}
+
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Work-stealing over an atomic index counter. Errors are kept per
+	// index so the reported error is deterministic: the lowest failing
+	// index wins, whatever order the workers observed failures in.
+	var (
+		next   atomic.Int64
+		failed atomic.Int64 // lowest failing index + 1; 0 = none
+		errMu  sync.Mutex
+		errAt  = map[int]error{}
+		wg     sync.WaitGroup
+	)
+	failed.Store(int64(n) + 1)
+	stop := func() bool {
+		return failed.Load() <= int64(n) || ctx.Err() != nil
+	}
+	record := func(i int, err error) {
+		errMu.Lock()
+		errAt[i] = err
+		errMu.Unlock()
+		for {
+			cur := failed.Load()
+			if int64(i)+1 >= cur || failed.CompareAndSwap(cur, int64(i)+1) {
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop() {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failed.Load(); f <= int64(n) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errAt[int(f)-1]
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over every item with up to workers goroutines and returns the
+// results in item order. On error the result slice is nil and the error of
+// the lowest failing index (or ctx.Err()) is returned.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(ctx, workers, len(items), func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@
 package scoping
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -25,7 +26,32 @@ type Ranking struct {
 // Rank scores the unified signature set with the detector and sorts
 // ascending by outlier score.
 func Rank(det outlier.Detector, union *embed.SignatureSet) *Ranking {
-	scores := det.Scores(union.Matrix)
+	r, _ := RankContext(context.Background(), 0, det, union)
+	return r
+}
+
+// RankContext is Rank with cancellation and an explicit worker count.
+// Detectors implementing outlier.ContextDetector score on the worker pool
+// and honour cancellation mid-scan; plain detectors run sequentially after
+// a context check.
+func RankContext(ctx context.Context, workers int, det outlier.Detector, union *embed.SignatureSet) (*Ranking, error) {
+	var scores []float64
+	if cd, ok := det.(outlier.ContextDetector); ok {
+		var err error
+		scores, err = cd.ScoresContext(ctx, workers, union.Matrix)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		scores = det.Scores(union.Matrix)
+	}
+	return rankScores(union, scores), nil
+}
+
+func rankScores(union *embed.SignatureSet, scores []float64) *Ranking {
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i

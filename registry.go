@@ -1,0 +1,170 @@
+package collabscope
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file consolidates the detector and matcher constructors behind a
+// name-keyed registry, so callers (the CLIs, config files, service
+// endpoints) can resolve algorithms by name instead of hard-wiring
+// flag→constructor switches.
+
+// ConstructorOption parameterises NewDetectorByName and NewMatcherByName.
+type ConstructorOption func(*constructorSpec)
+
+type constructorSpec struct {
+	param    float64
+	hasParam bool
+	seed     int64
+	models   int
+	epochs   int
+}
+
+// WithParam sets the algorithm's primary numeric parameter: the threshold
+// of sim/coma/flood/name, the cluster count of cluster, the top-k of
+// lsh/lsh-approx, the cutoff of hac, the neighbour count of lof/knn, the
+// explained variance of pca, or the tree count of isoforest. Algorithms
+// without a parameter (zscore, mahalanobis, autoencoder) ignore it.
+func WithParam(v float64) ConstructorOption {
+	return func(s *constructorSpec) { s.param = v; s.hasParam = true }
+}
+
+// WithSeed sets the seed of randomised algorithms (cluster, lsh-approx,
+// autoencoder, isoforest). The default is 1, so every named construction is
+// deterministic out of the box.
+func WithSeed(seed int64) ConstructorOption {
+	return func(s *constructorSpec) { s.seed = seed }
+}
+
+// WithEnsemble sets the autoencoder detector's ensemble size and epochs.
+func WithEnsemble(models, epochs int) ConstructorOption {
+	return func(s *constructorSpec) { s.models = models; s.epochs = epochs }
+}
+
+func buildSpec(opts []ConstructorOption) constructorSpec {
+	s := constructorSpec{seed: 1, models: 5, epochs: 30}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+func (s constructorSpec) paramOr(def float64) float64 {
+	if s.hasParam {
+		return s.param
+	}
+	return def
+}
+
+var detectorRegistry = map[string]func(constructorSpec) Detector{
+	"zscore": func(constructorSpec) Detector { return NewZScoreDetector() },
+	"lof":    func(s constructorSpec) Detector { return NewLOFDetector(int(s.paramOr(20))) },
+	"pca":    func(s constructorSpec) Detector { return NewPCADetector(s.paramOr(0.5)) },
+	"autoencoder": func(s constructorSpec) Detector {
+		return NewAutoencoderDetector(s.models, s.epochs, s.seed)
+	},
+	"knn":         func(s constructorSpec) Detector { return NewKNNDetector(int(s.paramOr(10))) },
+	"mahalanobis": func(constructorSpec) Detector { return NewMahalanobisDetector() },
+	"isoforest": func(s constructorSpec) Detector {
+		return NewIsolationForestDetector(int(s.paramOr(100)), s.seed)
+	},
+}
+
+var detectorAliases = map[string]string{"ae": "autoencoder", "iforest": "isoforest"}
+
+var matcherRegistry = map[string]func(constructorSpec) Matcher{
+	"sim":     func(s constructorSpec) Matcher { return NewSimMatcher(s.paramOr(0.6)) },
+	"cluster": func(s constructorSpec) Matcher { return NewClusterMatcher(int(s.paramOr(5)), s.seed) },
+	"lsh":     func(s constructorSpec) Matcher { return NewLSHMatcher(int(s.paramOr(5))) },
+	"lsh-approx": func(s constructorSpec) Matcher {
+		return NewApproxLSHMatcher(int(s.paramOr(5)), s.seed)
+	},
+	"coma":  func(s constructorSpec) Matcher { return NewCompositeMatcher(s.paramOr(0.6)) },
+	"flood": func(s constructorSpec) Matcher { return NewFloodingMatcher(s.paramOr(0.8)) },
+	"name":  func(s constructorSpec) Matcher { return NewNameMatcher(s.paramOr(0.7)) },
+	"hac":   func(s constructorSpec) Matcher { return NewHACMatcher(s.paramOr(0.8)) },
+}
+
+var matcherAliases = map[string]string{"composite": "coma", "flooding": "flood"}
+
+// Detectors returns the registered detector names, sorted.
+func Detectors() []string { return registryNames(detectorRegistry) }
+
+// Matchers returns the registered matcher names, sorted.
+func Matchers() []string { return registryNames(matcherRegistry) }
+
+func registryNames[T any](reg map[string]func(constructorSpec) T) []string {
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewDetectorByName constructs a registered detector. Names are
+// case-insensitive; see Detectors for the available set.
+func NewDetectorByName(name string, opts ...ConstructorOption) (Detector, error) {
+	return byName("detector", detectorRegistry, detectorAliases, name, opts)
+}
+
+// NewMatcherByName constructs a registered matcher. Names are
+// case-insensitive; see Matchers for the available set.
+func NewMatcherByName(name string, opts ...ConstructorOption) (Matcher, error) {
+	return byName("matcher", matcherRegistry, matcherAliases, name, opts)
+}
+
+func byName[T any](kind string, reg map[string]func(constructorSpec) T,
+	aliases map[string]string, name string, opts []ConstructorOption) (T, error) {
+
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canonical, ok := aliases[key]; ok {
+		key = canonical
+	}
+	build, ok := reg[key]
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("collabscope: unknown %s %q (have %s)",
+			kind, name, strings.Join(registryNames(reg), ", "))
+	}
+	return build(buildSpec(opts)), nil
+}
+
+// ParseDetector resolves a "name" or "name:param" spec string (e.g.
+// "pca:0.5", "lof:20") through the registry — the shared parser of the
+// command-line tools.
+func ParseDetector(spec string) (Detector, error) {
+	name, opts, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewDetectorByName(name, opts...)
+}
+
+// ParseMatcher resolves a "name" or "name:param" spec string (e.g.
+// "sim:0.6", "lsh:5") through the registry.
+func ParseMatcher(spec string) (Matcher, error) {
+	name, opts, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewMatcherByName(name, opts...)
+}
+
+func parseSpec(spec string) (string, []ConstructorOption, error) {
+	name, param := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, param = spec[:i], spec[i+1:]
+	}
+	if param == "" {
+		return name, nil, nil
+	}
+	v, err := strconv.ParseFloat(param, 64)
+	if err != nil {
+		return "", nil, fmt.Errorf("collabscope: bad parameter in spec %q: %v", spec, err)
+	}
+	return name, []ConstructorOption{WithParam(v)}, nil
+}

@@ -1,0 +1,76 @@
+package collabscope
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNamesCoverAllConstructors(t *testing.T) {
+	wantDet := []string{"autoencoder", "isoforest", "knn", "lof", "mahalanobis", "pca", "zscore"}
+	if got := Detectors(); strings.Join(got, ",") != strings.Join(wantDet, ",") {
+		t.Fatalf("Detectors() = %v, want %v", got, wantDet)
+	}
+	wantMat := []string{"cluster", "coma", "flood", "hac", "lsh", "lsh-approx", "name", "sim"}
+	if got := Matchers(); strings.Join(got, ",") != strings.Join(wantMat, ",") {
+		t.Fatalf("Matchers() = %v, want %v", got, wantMat)
+	}
+}
+
+func TestNewDetectorByName(t *testing.T) {
+	for _, name := range Detectors() {
+		d, err := NewDetectorByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name() == "" {
+			t.Errorf("%s: empty detector name", name)
+		}
+	}
+	if d, err := NewDetectorByName("pca", WithParam(0.7)); err != nil || d.Name() != "PCA(v=0.70)" {
+		t.Fatalf("pca with param: %v %v", d, err)
+	}
+	if d, err := NewDetectorByName("LOF", WithParam(5)); err != nil || d.Name() != "LOF(n=5)" {
+		t.Fatalf("case-insensitive lof: %v %v", d, err)
+	}
+	if _, err := NewDetectorByName("nope"); err == nil {
+		t.Fatal("unknown detector should fail")
+	}
+	if d, err := NewDetectorByName("ae", WithEnsemble(2, 10), WithSeed(7)); err != nil || d == nil {
+		t.Fatalf("ae alias: %v %v", d, err)
+	}
+}
+
+func TestNewMatcherByName(t *testing.T) {
+	for _, name := range Matchers() {
+		m, err := NewMatcherByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Errorf("%s: empty matcher name", name)
+		}
+	}
+	if m, err := NewMatcherByName("sim", WithParam(0.8)); err != nil || m.Name() != "SIM(0.8)" {
+		t.Fatalf("sim with param: %v %v", m, err)
+	}
+	if _, err := NewMatcherByName("nope"); err == nil {
+		t.Fatal("unknown matcher should fail")
+	}
+}
+
+func TestParseSpecStrings(t *testing.T) {
+	d, err := ParseDetector("pca:0.5")
+	if err != nil || d.Name() != "PCA(v=0.50)" {
+		t.Fatalf("ParseDetector = %v, %v", d, err)
+	}
+	if _, err := ParseDetector("pca:zzz"); err == nil {
+		t.Fatal("bad param should fail")
+	}
+	m, err := ParseMatcher("lsh:3")
+	if err != nil || m.Name() != "LSH(3)" {
+		t.Fatalf("ParseMatcher = %v, %v", m, err)
+	}
+	if _, err := ParseMatcher("bogus:1"); err == nil {
+		t.Fatal("unknown matcher spec should fail")
+	}
+}
