@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-parallel
+.PHONY: all build test race vet fmt fuzz-smoke ci bench bench-parallel
 
 all: build
 
@@ -21,9 +21,14 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# ci is the tier-1 verification gate: formatting, vet, and the full test
-# suite under the race detector.
-ci: fmt vet race
+# fuzz-smoke runs a short fuzzing pass over the model wire reader — the
+# surface exposed to untrusted peers via internal/exchange.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzReadModelJSON -fuzztime=5s ./internal/core
+
+# ci is the tier-1 verification gate: formatting, vet, the full test suite
+# under the race detector, and the wire-reader fuzz smoke.
+ci: fmt vet race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -8,14 +8,25 @@
 //	collabscope scope  -method global -detector pca:0.5 -p 0.7 s1.sql s2.sql
 //	collabscope match  -matcher lsh:5 [-scope 0.8] s1.sql s2.sql ...
 //	collabscope eval   -truth links.json -matcher sim:0.6 -v 0.8 s1.sql s2.sql
+//	collabscope serve  -addr 127.0.0.1:8080 -v 0.8 s1.sql
+//	collabscope fetch  -peers http://host1:8080,http://host2:8080 [-out dir]
+//	collabscope assess -peers http://host1:8080 s1.sql
 //
 // Schema files ending in .sql are parsed as CREATE TABLE DDL (the schema is
 // named after the file); .json files use the schema JSON format.
+//
+// serve trains the given schemas' models and publishes them over HTTP at
+// /models/<schema> (wire format v1, content-hash ETags); fetch harvests
+// peers' models to files, tolerating flaky peers; assess accepts either
+// -models files, -peers hubs, or both.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,9 +56,85 @@ func main() {
 		runIntegrate(args)
 	case "suggest":
 		runSuggest(args)
+	case "serve":
+		runServe(args)
+	case "fetch":
+		runFetch(args)
 	default:
 		usage()
 	}
+}
+
+// runServe implements the hub side of the distributed workflow: train the
+// local model(s) and publish them over HTTP for peers to fetch.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	v := fs.Float64("v", 0.8, "global explained variance")
+	dim, workers := pipelineFlags(fs)
+	fs.Parse(args)
+
+	schemas := loadSchemas(fs.Args())
+	pipe := newPipeline(*dim, *workers)
+	var models []*collabscope.Model
+	for _, s := range schemas {
+		m, err := pipe.TrainModel(s, *v)
+		fatal(err)
+		models = append(models, m)
+		fmt.Printf("trained %s: %d components at v=%.2f, linkability range %.4g\n",
+			s.Name, m.Components(), *v, m.Range)
+	}
+	handler, err := collabscope.NewModelServer(models...)
+	fatal(err)
+	ln, err := net.Listen("tcp", *addr)
+	fatal(err)
+	fmt.Printf("serving %d model(s) at http://%s/models\n", len(models), ln.Addr())
+	fatal(http.Serve(ln, handler))
+}
+
+// runFetch implements the consumer side: harvest peers' models into files,
+// keeping whatever healthy peers provide and reporting the rest.
+func runFetch(args []string) {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	peersArg := fs.String("peers", "", "comma-separated peer base URLs (required)")
+	out := fs.String("out", ".", "directory to write <schema>.model.json files into")
+	retries := fs.Int("retries", 0, "attempts per request (default 3)")
+	timeout := fs.Duration("timeout", 0, "per-request timeout (default 5s)")
+	fs.Parse(args)
+	if *peersArg == "" {
+		fatalf("-peers is required")
+	}
+
+	pipe := collabscope.New(collabscope.WithRetryPolicy(collabscope.RetryPolicy{
+		MaxAttempts: *retries, Timeout: *timeout,
+	}))
+	models, failed := pipe.FetchModels(context.Background(), splitPeers(*peersArg))
+	fatal(os.MkdirAll(*out, 0o755))
+	for _, m := range models {
+		path := filepath.Join(*out, m.Schema+".model.json")
+		fh, err := os.Create(path)
+		fatal(err)
+		fatal(m.WriteJSON(fh))
+		fatal(fh.Close())
+		fmt.Printf("fetched %s (%d components, range %.4g) -> %s\n",
+			m.Schema, m.Components(), m.Range, path)
+	}
+	for _, pe := range failed {
+		fmt.Fprintf(os.Stderr, "collabscope: peer failed: %s\n", pe)
+	}
+	if len(models) == 0 && len(failed) > 0 {
+		fatalf("no peer delivered a model")
+	}
+}
+
+func splitPeers(arg string) []string {
+	var peers []string
+	for _, p := range strings.Split(arg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // runSuggest proposes an explained-variance setting label-free.
@@ -67,7 +154,7 @@ func runSuggest(args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: collabscope <stats|scope|match|eval|train|assess|integrate|suggest> [flags] schema files...")
+	fmt.Fprintln(os.Stderr, "usage: collabscope <stats|scope|match|eval|train|assess|integrate|suggest|serve|fetch> [flags] schema files...")
 	os.Exit(2)
 }
 
@@ -133,12 +220,13 @@ func runTrain(args []string) {
 // exchanged foreign models (Algorithm 2) and report/stream the verdicts.
 func runAssess(args []string) {
 	fs := flag.NewFlagSet("assess", flag.ExitOnError)
-	modelsArg := fs.String("models", "", "comma-separated foreign model files (required)")
+	modelsArg := fs.String("models", "", "comma-separated foreign model files")
+	peersArg := fs.String("peers", "", "comma-separated peer base URLs to fetch foreign models from")
 	out := fs.String("out", "", "write the streamlined schema as JSON to this file")
 	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
-	if *modelsArg == "" {
-		fatalf("-models is required")
+	if *modelsArg == "" && *peersArg == "" {
+		fatalf("-models or -peers is required")
 	}
 
 	schemas := loadSchemas(fs.Args())
@@ -146,17 +234,37 @@ func runAssess(args []string) {
 		fatalf("assess expects exactly one schema file")
 	}
 	var models []*collabscope.Model
-	for _, path := range strings.Split(*modelsArg, ",") {
-		fh, err := os.Open(strings.TrimSpace(path))
-		fatal(err)
-		m, err := collabscope.ReadModelJSON(fh)
-		fatal(err)
-		fatal(fh.Close())
-		models = append(models, m)
+	if *modelsArg != "" {
+		for _, path := range strings.Split(*modelsArg, ",") {
+			fh, err := os.Open(strings.TrimSpace(path))
+			fatal(err)
+			m, err := collabscope.ReadModelJSON(fh)
+			fatal(err)
+			fatal(fh.Close())
+			models = append(models, m)
+		}
 	}
 
 	pipe := newPipeline(*dim, *workers)
-	verdicts := pipe.Assess(schemas[0], models)
+	if *peersArg != "" {
+		fetched, failed := pipe.FetchModels(context.Background(), splitPeers(*peersArg))
+		for _, pe := range failed {
+			fmt.Fprintf(os.Stderr, "collabscope: peer failed, assessing without it: %s\n", pe)
+		}
+		models = append(models, fetched...)
+	}
+	// Drop any model published under the local schema's own name: Algorithm 2
+	// assesses against foreign models only.
+	foreign := models[:0]
+	for _, m := range models {
+		if m.Schema != schemas[0].Name {
+			foreign = append(foreign, m)
+		}
+	}
+	if len(foreign) == 0 {
+		fatalf("no foreign models available (all peers failed?)")
+	}
+	verdicts := pipe.Assess(schemas[0], foreign)
 	streamlined := schemas[0].Subset(verdicts)
 	fmt.Printf("%s: %d -> %d elements\n", schemas[0].Name,
 		schemas[0].NumElements(), streamlined.NumElements())

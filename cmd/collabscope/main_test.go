@@ -79,3 +79,13 @@ func TestNewPipelineDims(t *testing.T) {
 		t.Fatal("workers override failed")
 	}
 }
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" http://a:8080, ,http://b:9090 ,")
+	if len(got) != 2 || got[0] != "http://a:8080" || got[1] != "http://b:9090" {
+		t.Fatalf("splitPeers = %v", got)
+	}
+	if splitPeers("") != nil {
+		t.Fatal("empty spec should yield no peers")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"runtime"
 
 	"collabscope/internal/core"
@@ -107,6 +108,11 @@ func ReadModelJSON(r io.Reader) (*Model, error) { return core.ReadModelJSON(r) }
 type Pipeline struct {
 	enc     embed.Encoder
 	workers int
+
+	// Remote-exchange configuration (see remote.go).
+	httpClient *http.Client
+	retry      RetryPolicy
+	hasRetry   bool
 }
 
 // Option configures a Pipeline.

@@ -21,6 +21,12 @@
 //	// res.Streamlined now holds the pruned schemas; feed them to a matcher:
 //	pairs := pipe.Match(collabscope.NewLSHMatcher(5), res.Streamlined)
 //
+// The distributed deployment the paper sketches is first-class: a party
+// publishes its trained model over HTTP with NewModelServer and assesses
+// against its peers with Pipeline.AssessRemote / CollaborativeScopeRemote,
+// which tolerate flaky peers — missing models only make the verdicts more
+// conservative, and the result reports who was absent (see remote.go).
+//
 // Alongside the contribution it ships every substrate and baseline the
 // paper evaluates against: global scoping with Z-score / LOF / PCA /
 // autoencoder outlier detection, the SIM / CLUSTER / LSH matchers, the

@@ -1,36 +1,61 @@
 // Distributed demonstrates collaborative scoping's privacy story over a
-// real network boundary: three organisations run as independent parties on
-// local TCP ports, each serving ONLY its trained model (mean, principal
-// components, linkability range). Every party fetches its peers' models and
-// assesses its own schema locally — no table or attribute ever crosses the
-// wire.
+// real network boundary — and its fault tolerance. Four organisations run
+// as independent parties, each serving ONLY its trained model (mean,
+// principal components, linkability range) from a local HTTP hub in wire
+// format v1 (versioned JSON with a SHA-256 hash trailer, content-hash
+// ETag). Every party fetches its peers' models and assesses its own schema
+// locally — no table or attribute ever crosses the wire.
+//
+// The second half kills one party mid-run: the survivors' assessment
+// rounds still complete — the exchange client retries, times out, and
+// reports the dead peer instead of aborting — and their verdicts equal a
+// baseline computed without the dead peer's model. Fewer foreign models
+// only make collaborative scoping more conservative; nothing breaks.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"reflect"
 	"sort"
-	"sync"
+	"time"
 
 	"collabscope"
 )
 
 // party is one organisation: a schema, a shared pipeline configuration,
-// and a TCP endpoint serving the trained model.
+// and an HTTP hub publishing the trained model.
 type party struct {
 	schema *collabscope.Schema
 	pipe   *collabscope.Pipeline
 	model  *collabscope.Model
+	srv    *http.Server
 	ln     net.Listener
 }
 
 func newParty(s *collabscope.Schema, variance float64) (*party, error) {
-	p := &party{schema: s, pipe: collabscope.New(collabscope.WithDimension(384))}
+	p := &party{schema: s, pipe: collabscope.New(
+		collabscope.WithDimension(384),
+		// Fail over quickly when a peer is gone: two attempts with a short
+		// per-request timeout instead of the 5 s production default.
+		collabscope.WithRetryPolicy(collabscope.RetryPolicy{
+			MaxAttempts: 2,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			Timeout:     2 * time.Second,
+		}),
+	)}
 	var err error
 	p.model, err = p.pipe.TrainModel(s, variance)
+	if err != nil {
+		return nil, err
+	}
+	handler, err := collabscope.NewModelServer(p.model)
 	if err != nil {
 		return nil, err
 	}
@@ -38,33 +63,48 @@ func newParty(s *collabscope.Schema, variance float64) (*party, error) {
 	if err != nil {
 		return nil, err
 	}
-	go p.serve()
+	p.srv = &http.Server{Handler: handler}
+	go func() { _ = p.srv.Serve(p.ln) }()
 	return p, nil
 }
 
-// serve answers every connection with the serialised model and closes.
-func (p *party) serve() {
-	for {
-		conn, err := p.ln.Accept()
-		if err != nil {
-			return // listener closed
+// url returns the party's hub base URL.
+func (p *party) url() string { return "http://" + p.ln.Addr().String() }
+
+// shutdown takes the party's hub off the network.
+func (p *party) shutdown() { _ = p.srv.Close() }
+
+// assessRound has every assessor fetch the other parties' models over HTTP
+// (dead hubs included — that is the point) and assess its own schema
+// locally, returning each assessor's sorted keep-list and any reported
+// peer failures.
+func assessRound(assessors, all []*party) (map[string][]string, map[string][]collabscope.PeerError) {
+	kept := map[string][]string{}
+	failures := map[string][]collabscope.PeerError{}
+	for _, p := range assessors {
+		var peers []string
+		for _, peer := range all {
+			if peer != p {
+				peers = append(peers, peer.url())
+			}
 		}
-		_ = p.model.WriteJSON(conn)
-		_ = conn.Close()
+		res, err := p.pipe.AssessRemote(context.Background(), p.schema, peers)
+		check(err)
+		kept[p.schema.Name] = keepList(res.Verdicts)
+		failures[p.schema.Name] = res.Failed
 	}
+	return kept, failures
 }
 
-// addr returns the party's model endpoint.
-func (p *party) addr() string { return p.ln.Addr().String() }
-
-// fetchModel downloads a peer's model.
-func fetchModel(addr string) (*collabscope.Model, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+func keepList(verdicts map[collabscope.ElementID]bool) []string {
+	var kept []string
+	for id, linkable := range verdicts {
+		if linkable {
+			kept = append(kept, id.String())
+		}
 	}
-	defer conn.Close()
-	return collabscope.ReadModelJSON(conn)
+	sort.Strings(kept)
+	return kept
 }
 
 func main() {
@@ -77,57 +117,71 @@ func main() {
 		p, err := newParty(s, variance)
 		check(err)
 		parties[i] = p
-		fmt.Printf("%s serving its model on %s (%d components, range %.4g)\n",
-			s.Name, p.addr(), p.model.Components(), p.model.Range)
+		fmt.Printf("%s serving its model at %s/models (%d components, range %.4g)\n",
+			s.Name, p.url(), p.model.Components(), p.model.Range)
 	}
 	defer func() {
 		for _, p := range parties {
-			p.ln.Close()
+			p.shutdown()
 		}
 	}()
-	fmt.Println()
 
-	// Every party fetches the others' models concurrently and assesses
-	// its own schema locally.
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	results := map[string][]string{}
-	for i, p := range parties {
-		wg.Add(1)
-		go func(i int, p *party) {
-			defer wg.Done()
-			var foreign []*collabscope.Model
-			for j, peer := range parties {
-				if j == i {
-					continue
-				}
-				m, err := fetchModel(peer.addr())
-				check(err)
-				foreign = append(foreign, m)
-			}
-			verdict := p.pipe.Assess(p.schema, foreign)
-			var kept []string
-			for id, linkable := range verdict {
-				if linkable {
-					kept = append(kept, id.String())
-				}
-			}
-			sort.Strings(kept)
-			mu.Lock()
-			results[p.schema.Name] = kept
-			mu.Unlock()
-		}(i, p)
+	fmt.Println("\n--- round 1: all parties up ---")
+	round1, failures1 := assessRound(parties, parties)
+	for _, name := range sortedKeys(round1) {
+		fmt.Printf("%s assessed linkable: %v\n", name, round1[name])
+		if len(failures1[name]) > 0 {
+			fmt.Printf("  unexpected failures: %v\n", failures1[name])
+		}
 	}
-	wg.Wait()
 
-	names := make([]string, 0, len(results))
-	for n := range results {
-		names = append(names, n)
+	// Kill one party mid-run. Its hub now refuses connections; the
+	// survivors must keep going with one foreign model fewer.
+	dead := parties[len(parties)-1]
+	dead.shutdown()
+	fmt.Printf("\n--- %s killed; round 2: survivors assess without it ---\n", dead.schema.Name)
+
+	survivors := parties[:len(parties)-1]
+	round2, failures2 := assessRound(survivors, parties)
+
+	// Baseline: what each survivor would decide assessing in-process
+	// against the surviving models only (no network at all).
+	exitCode := 0
+	for _, p := range survivors {
+		var foreign []*collabscope.Model
+		for _, peer := range survivors {
+			if peer != p {
+				foreign = append(foreign, peer.model)
+			}
+		}
+		want := keepList(p.pipe.Assess(p.schema, foreign))
+		name := p.schema.Name
+		fmt.Printf("%s assessed linkable: %v\n", name, round2[name])
+		for _, pe := range failures2[name] {
+			fmt.Printf("  missing peer reported: %v\n", pe)
+		}
+		if len(failures2[name]) != 1 {
+			fmt.Printf("  ERROR: expected exactly the dead peer in the report, got %v\n", failures2[name])
+			exitCode = 1
+		}
+		if !reflect.DeepEqual(round2[name], want) {
+			fmt.Printf("  ERROR: verdicts diverge from the dead-peer-excluded baseline %v\n", want)
+			exitCode = 1
+		}
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Printf("%s assessed linkable: %v\n", n, results[n])
+	if exitCode == 0 {
+		fmt.Println("\nall survivor verdicts match the dead-peer-excluded baseline; the dead peer was reported, not fatal")
 	}
+	os.Exit(exitCode)
+}
+
+func sortedKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func check(err error) {

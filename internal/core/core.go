@@ -29,7 +29,8 @@ type Model struct {
 	// Schema names the schema this model was trained on.
 	Schema string
 	// Variance is the global explained-variance target v the model was
-	// truncated at.
+	// truncated at; 0 is the sentinel of fixed-component ablation models
+	// (TrainFixedComponents), which have no variance target.
 	Variance float64
 
 	pca *linalg.PCA
@@ -39,19 +40,47 @@ type Model struct {
 }
 
 // Train runs Algorithm 1 on one schema's signature set with the global
-// explained variance v ∈ (0, 1], returning the local model.
+// explained variance v ∈ (0, 1], returning the local model. The set must
+// belong to a single schema: the published model is stamped with that
+// schema's name, and Algorithm 2 relies on the stamp to skip a schema's own
+// model during assessment — a mixed set would publish a mislabeled model
+// that silently self-matches.
+//
+// Degenerate training sets are legal but conservative: a single signature
+// (or a set of bit-identical signatures) reconstructs itself exactly, so
+// the linkability range l_k — the MAXIMUM training reconstruction error of
+// Definition 3 — collapses to 0 and the model accepts only bit-exact
+// reconstructions during assessment. Fewer foreign acceptances mean fewer
+// elements kept, never wrong extra matches, which is the graceful
+// degradation the paper's design calls for.
 func Train(set *embed.SignatureSet, v float64) (*Model, error) {
-	if set.Len() == 0 {
-		return nil, fmt.Errorf("core: cannot train on an empty signature set")
+	name, err := singleSchemaName(set)
+	if err != nil {
+		return nil, err
 	}
 	if v <= 0 || v > 1 {
 		return nil, fmt.Errorf("core: explained variance %v outside (0, 1]", v)
 	}
-	name := set.IDs[0].Schema
 	pca := linalg.FitPCA(set.Matrix, v)
 	m := &Model{Schema: name, Variance: v, pca: pca}
 	m.Range = maxOf(pca.ReconstructionErrors(set.Matrix))
 	return m, nil
+}
+
+// singleSchemaName validates that every signature in the set belongs to the
+// same schema and returns that schema's name.
+func singleSchemaName(set *embed.SignatureSet) (string, error) {
+	if set.Len() == 0 {
+		return "", fmt.Errorf("core: cannot train on an empty signature set")
+	}
+	name := set.IDs[0].Schema
+	for _, id := range set.IDs[1:] {
+		if id.Schema != name {
+			return "", fmt.Errorf("core: training set mixes schemas %q and %q — a model is trained on one schema's signatures only",
+				name, id.Schema)
+		}
+	}
+	return name, nil
 }
 
 // TrainFixedComponents is the ablation variant of Train that retains a
@@ -60,8 +89,9 @@ func Train(set *embed.SignatureSet, v float64) (*Model, error) {
 // shared knob because schemas differ in volume and design; this variant
 // lets the ablation benches quantify that claim.
 func TrainFixedComponents(set *embed.SignatureSet, n int) (*Model, error) {
-	if set.Len() == 0 {
-		return nil, fmt.Errorf("core: cannot train on an empty signature set")
+	name, err := singleSchemaName(set)
+	if err != nil {
+		return nil, err
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("core: need at least 1 component, got %d", n)
@@ -78,7 +108,7 @@ func TrainFixedComponents(set *embed.SignatureSet, n int) (*Model, error) {
 		Cumulative: full.Cumulative,
 		NComp:      n,
 	}
-	m := &Model{Schema: set.IDs[0].Schema, Variance: 0, pca: pca}
+	m := &Model{Schema: name, Variance: 0, pca: pca}
 	m.Range = maxOf(pca.ReconstructionErrors(set.Matrix))
 	return m, nil
 }

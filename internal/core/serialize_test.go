@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -39,16 +40,89 @@ func TestModelJSONRoundTrip(t *testing.T) {
 
 func TestReadModelJSONValidation(t *testing.T) {
 	cases := map[string]string{
-		"bad json":       `{`,
-		"no components":  `{"schema":"S","dim":2,"mean":[0,0],"components":[],"range":0.1}`,
-		"mean mismatch":  `{"schema":"S","dim":3,"mean":[0,0],"components":[[0,0,0]],"range":0.1}`,
-		"ragged rows":    `{"schema":"S","dim":2,"mean":[0,0],"components":[[0,0],[0]],"range":0.1}`,
-		"negative range": `{"schema":"S","dim":2,"mean":[0,0],"components":[[1,0]],"range":-1}`,
-		"zero dim":       `{"schema":"S","dim":0,"mean":[],"components":[[ ]],"range":0}`,
+		"bad json":        `{`,
+		"no components":   `{"schema":"S","dim":2,"mean":[0,0],"components":[],"range":0.1}`,
+		"mean mismatch":   `{"schema":"S","dim":3,"mean":[0,0],"components":[[0,0,0]],"range":0.1}`,
+		"ragged rows":     `{"schema":"S","dim":2,"mean":[0,0],"components":[[0,0],[0]],"range":0.1}`,
+		"negative range":  `{"schema":"S","dim":2,"mean":[0,0],"components":[[1,0]],"range":-1}`,
+		"zero dim":        `{"schema":"S","dim":0,"mean":[],"components":[[ ]],"range":0}`,
+		"empty schema":    `{"schema":"","dim":2,"mean":[0,0],"components":[[1,0]],"range":0.1}`,
+		"variance > 1":    `{"schema":"S","variance":1.5,"dim":2,"mean":[0,0],"components":[[1,0]],"range":0.1}`,
+		"variance < 0":    `{"schema":"S","variance":-0.1,"dim":2,"mean":[0,0],"components":[[1,0]],"range":0.1}`,
+		"huge dim":        `{"schema":"S","dim":1048576,"mean":[0,0],"components":[[1,0]],"range":0.1}`,
+		"rank > dim":      `{"schema":"S","dim":1,"mean":[0],"components":[[1],[0],[1]],"range":0.1}`,
+		"future version":  `{"version":2,"schema":"S","variance":0.5,"dim":2,"mean":[0,0],"components":[[1,0]],"range":0.1,"sum":"x"}`,
+		"v1 missing sum":  `{"version":1,"schema":"S","variance":0.5,"dim":2,"mean":[0,0],"components":[[1,0]],"range":0.1}`,
+		"v1 wrong sum":    `{"version":1,"schema":"S","variance":0.5,"dim":2,"mean":[0,0],"components":[[1,0]],"range":0.1,"sum":"deadbeef"}`,
+		"huge range":      `{"schema":"S","dim":2,"mean":[0,0],"components":[[1,0]],"range":1e999}`,
+		"negative varver": `{"version":-1,"schema":"S","dim":2,"mean":[0,0],"components":[[1,0]],"range":0.1}`,
 	}
 	for name, payload := range cases {
 		if _, err := ReadModelJSON(strings.NewReader(payload)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+// TestReadModelJSONV0Compat pins the version-negotiation contract: a legacy
+// payload (no "version" key, no hash trailer) still loads, and variance 0 —
+// the fixed-component ablation sentinel — is accepted.
+func TestReadModelJSONV0Compat(t *testing.T) {
+	v0 := `{"schema":"S","variance":0.7,"dim":2,"mean":[0.5,0.5],"components":[[1,0]],"range":0.01}`
+	m, err := ReadModelJSON(strings.NewReader(v0))
+	if err != nil {
+		t.Fatalf("v0 payload rejected: %v", err)
+	}
+	if m.Schema != "S" || m.Variance != 0.7 || m.Components() != 1 || m.Range != 0.01 {
+		t.Fatalf("v0 payload mis-parsed: %+v", m)
+	}
+
+	sentinel := `{"schema":"S","variance":0,"dim":2,"mean":[0.5,0.5],"components":[[1,0]],"range":0.01}`
+	if _, err := ReadModelJSON(strings.NewReader(sentinel)); err != nil {
+		t.Fatalf("variance-0 sentinel (fixed-component models) rejected: %v", err)
+	}
+}
+
+// TestWriteJSONEmitsV1 checks the writer side of the wire contract: the
+// current version key and a hash trailer that matches Fingerprint.
+func TestWriteJSONEmitsV1(t *testing.T) {
+	_, sets := encodeAll(t)
+	m, err := Train(sets[0], 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wire modelJSON
+	if err := json.Unmarshal(buf.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Version != WireVersion {
+		t.Fatalf("emitted version %d, want %d", wire.Version, WireVersion)
+	}
+	fp, err := m.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Sum == "" || wire.Sum != fp {
+		t.Fatalf("hash trailer %q does not match fingerprint %q", wire.Sum, fp)
+	}
+	// A fixed-component model (variance 0) must round-trip too.
+	fc, err := TrainFixedComponents(sets[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := fc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModelJSON(&buf)
+	if err != nil {
+		t.Fatalf("fixed-component model does not round-trip: %v", err)
+	}
+	if back.Variance != 0 || back.Components() != fc.Components() {
+		t.Fatalf("fixed-component round trip lost shape: %+v", back)
 	}
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"collabscope/internal/embed"
+	"collabscope/internal/linalg"
+	"collabscope/internal/schema"
+)
+
+// setFromRows builds a signature set with explicit element IDs, one per row.
+func setFromRows(ids []schema.ElementID, rows [][]float64) *embed.SignatureSet {
+	m := linalg.NewDense(len(rows), len(rows[0]))
+	for i, row := range rows {
+		copy(m.RowView(i), row)
+	}
+	return &embed.SignatureSet{IDs: ids, Matrix: m}
+}
+
+// TestTrainRejectsMixedSchemaSets is the regression test for the
+// mislabeled-model bug: a set spanning two schemas used to be stamped with
+// IDs[0].Schema, publishing a model that self-matched during assessment
+// (Algorithm 2 skips models whose Schema equals the assessing schema's).
+func TestTrainRejectsMixedSchemaSets(t *testing.T) {
+	mixed := setFromRows([]schema.ElementID{
+		schema.AttributeID("S1", "T", "A"),
+		schema.AttributeID("S2", "T", "B"),
+		schema.AttributeID("S1", "T", "C"),
+	}, [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+
+	if _, err := Train(mixed, 0.8); err == nil {
+		t.Fatal("Train accepted a mixed-schema signature set")
+	} else if !strings.Contains(err.Error(), "S2") {
+		t.Fatalf("error should name the offending schema: %v", err)
+	}
+	if _, err := TrainFixedComponents(mixed, 1); err == nil {
+		t.Fatal("TrainFixedComponents accepted a mixed-schema signature set")
+	}
+
+	// Single-schema sets keep working.
+	clean := setFromRows([]schema.ElementID{
+		schema.AttributeID("S1", "T", "A"),
+		schema.AttributeID("S1", "T", "B"),
+	}, [][]float64{{1, 0.5, 0}, {0, 0.25, 1}})
+	if _, err := Train(clean, 0.8); err != nil {
+		t.Fatalf("single-schema set rejected: %v", err)
+	}
+}
+
+// TestDegenerateLinkabilityRange pins the documented semantics of l_k = 0:
+// a single-signature (or all-identical) training set reconstructs itself
+// exactly, so the model accepts only bit-exact reconstructions — strictly
+// conservative, never wrongly permissive.
+func TestDegenerateLinkabilityRange(t *testing.T) {
+	row := []float64{0.25, 0.5, 0.75, 1}
+	ids := []schema.ElementID{
+		schema.AttributeID("S", "T", "A"),
+		schema.AttributeID("S", "T", "B"),
+		schema.AttributeID("S", "T", "C"),
+	}
+	identical := setFromRows(ids, [][]float64{row, row, row})
+	m, err := Train(identical, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Range != 0 {
+		t.Fatalf("identical signatures must collapse l_k to 0, got %v", m.Range)
+	}
+	if !m.Accepts(row) {
+		t.Fatal("a degenerate model must still accept its own training signature")
+	}
+	perturbed := append([]float64(nil), row...)
+	perturbed[0] += 0.05
+	if m.Accepts(perturbed) {
+		t.Fatal("l_k = 0 must reject anything that is not reconstructed bit-exactly")
+	}
+
+	// Single-element sets behave the same way.
+	single := setFromRows(ids[:1], [][]float64{row})
+	m, err = Train(single, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Range != 0 {
+		t.Fatalf("single-element set must collapse l_k to 0, got %v", m.Range)
+	}
+}

@@ -1,0 +1,293 @@
+package exchange
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"collabscope/internal/core"
+	"collabscope/internal/parallel"
+)
+
+// maxResponseBody bounds how much a single response may occupy before
+// parsing — generous headroom over the serialize-layer wire caps, but a
+// hostile peer cannot stream unbounded garbage into memory.
+const maxResponseBody = 512 << 20
+
+// RetryPolicy tunes the client's fault tolerance. The zero value means
+// "defaults" (3 attempts, 100 ms base delay, 2 s cap, 5 s per-attempt
+// timeout); any field left zero individually falls back to its default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, including the
+	// first.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay. The actual sleep is jittered
+	// uniformly over [delay/2, delay] to decorrelate retry storms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+	// Timeout bounds each individual attempt (connection + response).
+	Timeout time.Duration
+}
+
+// DefaultRetryPolicy returns the client defaults.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Timeout: 5 * time.Second}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = def.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = def.MaxDelay
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = def.Timeout
+	}
+	return p
+}
+
+// PeerError reports why one peer (or one of its models) could not
+// contribute to an exchange round.
+type PeerError struct {
+	// Peer is the peer's base URL.
+	Peer string
+	// Err is the underlying failure, already wrapped with retry context.
+	Err error
+}
+
+// Error implements the error interface.
+func (e PeerError) Error() string { return e.Peer + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e PeerError) Unwrap() error { return e.Err }
+
+// Client fetches models from exchange hubs.
+type Client struct {
+	hc     *http.Client
+	policy RetryPolicy
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient replaces the transport (http.DefaultClient if unset).
+// Per-attempt timeouts still come from the retry policy.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithRetryPolicy replaces the default retry policy.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.policy = p.withDefaults() }
+}
+
+// NewClient returns a fetching client with the default transport and retry
+// policy.
+func NewClient(opts ...ClientOption) *Client {
+	c := &Client{hc: http.DefaultClient, policy: DefaultRetryPolicy()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// statusError is a non-2xx response; retryable for 5xx and 429.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	msg := strings.TrimSpace(e.body)
+	if msg == "" {
+		return fmt.Sprintf("http status %d", e.code)
+	}
+	return fmt.Sprintf("http status %d: %.120s", e.code, msg)
+}
+
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
+	}
+	// Network-level failures (refused, reset, timeout) are worth retrying
+	// unless the caller's context is already done.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// get fetches a URL with per-attempt timeouts and capped exponential
+// backoff with jitter, returning the body and the response ETag.
+func (c *Client) get(ctx context.Context, rawURL string) (body []byte, etag string, err error) {
+	var lastErr error
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if serr := sleepContext(ctx, c.backoff(attempt)); serr != nil {
+				return nil, "", fmt.Errorf("giving up after %d attempts: %w (last error: %v)", attempt, serr, lastErr)
+			}
+		}
+		body, etag, lastErr = c.once(ctx, rawURL)
+		if lastErr == nil {
+			return body, etag, nil
+		}
+		if ctx.Err() != nil || !retryable(lastErr) {
+			return nil, "", lastErr
+		}
+	}
+	return nil, "", fmt.Errorf("after %d attempts: %w", c.policy.MaxAttempts, lastErr)
+}
+
+// once performs a single attempt under the policy's per-request timeout.
+func (c *Client) once(ctx context.Context, rawURL string) ([]byte, string, error) {
+	actx, cancel := context.WithTimeout(ctx, c.policy.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, "", &statusError{code: resp.StatusCode, body: string(snippet)}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(body) > maxResponseBody {
+		return nil, "", fmt.Errorf("response exceeds %d bytes", maxResponseBody)
+	}
+	return body, resp.Header.Get("ETag"), nil
+}
+
+// backoff returns the jittered delay before retry number attempt (≥ 1):
+// BaseDelay·2^(attempt−1) capped at MaxDelay, then jittered uniformly over
+// [delay/2, delay].
+func (c *Client) backoff(attempt int) time.Duration {
+	delay := c.policy.BaseDelay
+	for i := 1; i < attempt && delay < c.policy.MaxDelay; i++ {
+		delay *= 2
+	}
+	if delay > c.policy.MaxDelay {
+		delay = c.policy.MaxDelay
+	}
+	half := delay / 2
+	return half + rand.N(delay-half+1)
+}
+
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// FetchModel fetches and validates one model from an explicit model URL
+// (…/models/<schema>). The payload's embedded hash trailer is verified by
+// the serialize layer; if the server also sent a content-hash ETag, it is
+// cross-checked against the model's fingerprint, catching transport
+// corruption end to end.
+func (c *Client) FetchModel(ctx context.Context, rawURL string) (*core.Model, error) {
+	body, etag, err := c.get(ctx, rawURL)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.ReadModelJSON(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if etag != "" {
+		if fp, ferr := m.Fingerprint(); ferr == nil && strings.Trim(strings.TrimPrefix(etag, "W/"), `"`) != fp {
+			return nil, fmt.Errorf("model ETag %s does not match content fingerprint %.12s…", etag, fp)
+		}
+	}
+	return m, nil
+}
+
+// FetchPeer lists one peer's published models and fetches them all. It
+// keeps whatever it could get: a partial harvest is returned together with
+// an error naming the models that failed (nil error means a full harvest).
+func (c *Client) FetchPeer(ctx context.Context, base string) ([]*core.Model, error) {
+	base = strings.TrimSuffix(base, "/")
+	body, _, err := c.get(ctx, base+"/models")
+	if err != nil {
+		return nil, fmt.Errorf("list models: %w", err)
+	}
+	var listing Listing
+	if err := json.Unmarshal(body, &listing); err != nil {
+		return nil, fmt.Errorf("decode model listing: %w", err)
+	}
+	if listing.Version > core.WireVersion {
+		return nil, fmt.Errorf("peer speaks wire version %d, this build speaks ≤ %d", listing.Version, core.WireVersion)
+	}
+	var models []*core.Model
+	var failures []string
+	for _, entry := range listing.Models {
+		m, err := c.FetchModel(ctx, base+"/models/"+url.PathEscape(entry.Schema))
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", entry.Schema, err))
+			continue
+		}
+		models = append(models, m)
+	}
+	if len(failures) > 0 {
+		return models, fmt.Errorf("model(s) failed: %s", strings.Join(failures, "; "))
+	}
+	return models, nil
+}
+
+// FetchAll fetches the models of every peer concurrently and degrades
+// gracefully: it returns every model it could get (in peer order) together
+// with a per-peer error report for the rest. It never fails as a whole —
+// assessing against fewer foreign models only makes collaborative scoping
+// more conservative (Algorithm 2), which is the paper's intended behaviour
+// under partial participation.
+func (c *Client) FetchAll(ctx context.Context, peers []string) ([]*core.Model, []PeerError) {
+	perPeer := make([][]*core.Model, len(peers))
+	perErr := make([]error, len(peers))
+	// parallel.ForEach only errors when a callback does; ours never do.
+	_ = parallel.ForEach(ctx, 0, len(peers), func(i int) error {
+		perPeer[i], perErr[i] = c.FetchPeer(ctx, peers[i])
+		return nil
+	})
+	var models []*core.Model
+	var failed []PeerError
+	for i, peer := range peers {
+		models = append(models, perPeer[i]...)
+		switch {
+		case perErr[i] != nil:
+			failed = append(failed, PeerError{Peer: peer, Err: perErr[i]})
+		case perPeer[i] == nil && ctx.Err() != nil:
+			// The pool stopped before this peer was attempted.
+			failed = append(failed, PeerError{Peer: peer, Err: ctx.Err()})
+		}
+	}
+	return models, failed
+}

@@ -1,0 +1,173 @@
+// Package exchange moves trained models between schemas over HTTP — the
+// production transport for the paper's exchange step, in which only models
+// M_k = {μ_k, PC_k, l_k} ever travel, never schema elements.
+//
+// A Server publishes each schema's model at /models/<schema> in wire format
+// v1 (versioned JSON with a SHA-256 hash trailer) and serves the model's
+// content hash as a strong ETag, so unchanged models revalidate with 304s.
+// A Client fetches peers' models with per-request timeouts, capped
+// exponential backoff with jitter, and end-to-end checksum validation.
+//
+// The failure model follows the paper's design: collaborative scoping
+// degrades gracefully when foreign models are missing (fewer models ⇒ more
+// conservative verdicts), so FetchAll never aborts on a flaky peer — it
+// returns every model it could get plus a per-peer error report, and the
+// caller assesses against whoever responded.
+package exchange
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"collabscope/internal/core"
+)
+
+// Listing is the body of GET /models: the wire version the hub speaks and
+// the published models with their content hashes.
+type Listing struct {
+	Version int            `json:"version"`
+	Models  []ListingEntry `json:"models"`
+}
+
+// ListingEntry describes one published model.
+type ListingEntry struct {
+	Schema string `json:"schema"`
+	ETag   string `json:"etag"`
+}
+
+// published is one model frozen at publish time: its serialised v1 wire
+// bytes and the content-hash ETag derived from them.
+type published struct {
+	body []byte
+	etag string // strong ETag, quotes included
+}
+
+// Server is an HTTP hub publishing trained models. It implements
+// http.Handler with two read-only routes:
+//
+//	GET /models          → Listing (schemas + ETags)
+//	GET /models/<schema> → the model's wire-format JSON, ETag header set
+//
+// Conditional requests with If-None-Match revalidate against the content
+// hash. Publishing is safe during serving; a model can be re-published
+// after retraining and the ETag changes with the content.
+type Server struct {
+	mu     sync.RWMutex
+	models map[string]*published
+}
+
+// NewServer returns a hub publishing the given models.
+func NewServer(models ...*core.Model) (*Server, error) {
+	s := &Server{models: make(map[string]*published)}
+	for _, m := range models {
+		if err := s.Publish(m); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Publish (re-)publishes a model under its schema name. The model is
+// serialised once; subsequent requests serve the frozen bytes.
+func (s *Server) Publish(m *core.Model) error {
+	if m == nil {
+		return fmt.Errorf("exchange: cannot publish a nil model")
+	}
+	if m.Schema == "" {
+		return fmt.Errorf("exchange: cannot publish a model with an empty schema name")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		return fmt.Errorf("exchange: serialise model %q: %w", m.Schema, err)
+	}
+	sum, err := m.Fingerprint()
+	if err != nil {
+		return fmt.Errorf("exchange: fingerprint model %q: %w", m.Schema, err)
+	}
+	s.mu.Lock()
+	s.models[m.Schema] = &published{body: buf.Bytes(), etag: `"` + sum + `"`}
+	s.mu.Unlock()
+	return nil
+}
+
+// Schemas returns the published schema names, sorted.
+func (s *Server) Schemas() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ServeHTTP routes /models and /models/<schema>.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch {
+	case path == "/models":
+		s.serveListing(w, r)
+	case strings.HasPrefix(path, "/models/"):
+		s.serveModel(w, r, strings.TrimPrefix(path, "/models/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveListing(w http.ResponseWriter, r *http.Request) {
+	listing := Listing{Version: core.WireVersion, Models: []ListingEntry{}}
+	s.mu.RLock()
+	for name, p := range s.models {
+		listing.Models = append(listing.Models, ListingEntry{Schema: name, ETag: p.etag})
+	}
+	s.mu.RUnlock()
+	sort.Slice(listing.Models, func(i, j int) bool {
+		return listing.Models[i].Schema < listing.Models[j].Schema
+	})
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(listing)
+}
+
+func (s *Server) serveModel(w http.ResponseWriter, r *http.Request, name string) {
+	s.mu.RLock()
+	p, ok := s.models[name]
+	s.mu.RUnlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("no model published for schema %q", name), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", p.etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, p.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	_, _ = w.Write(p.body)
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// ETag (handles "*" and comma-separated candidate lists).
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package collabscope
+
+import (
+	"context"
+	"net/http"
+
+	"collabscope/internal/core"
+	"collabscope/internal/exchange"
+)
+
+// Remote model exchange: the distributed deployment of the paper's
+// algorithms, where every party trains locally and only models — never
+// schema elements — cross the network. A party publishes its model through
+// NewModelServer (or `collabscope serve`) and assesses against its peers
+// with AssessRemote / CollaborativeScopeRemote, which tolerate missing
+// peers by design: collaborative scoping just grows more conservative with
+// fewer foreign models, and the result names every peer that was absent.
+
+type (
+	// RetryPolicy tunes the exchange client's fault tolerance: attempts
+	// per request, capped exponential backoff with jitter, and the
+	// per-request timeout. The zero value means the defaults (3 attempts,
+	// 100 ms base delay, 2 s cap, 5 s timeout).
+	RetryPolicy = exchange.RetryPolicy
+	// PeerError names one peer that could not contribute to an exchange
+	// round and why.
+	PeerError = exchange.PeerError
+)
+
+// DefaultRetryPolicy returns the exchange client defaults.
+func DefaultRetryPolicy() RetryPolicy { return exchange.DefaultRetryPolicy() }
+
+// WithHTTPClient sets the HTTP transport of the remote-exchange methods
+// (http.DefaultClient if unset). Per-request timeouts still come from the
+// retry policy.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(p *Pipeline) { p.httpClient = hc }
+}
+
+// WithRetryPolicy sets the retry policy of the remote-exchange methods.
+func WithRetryPolicy(rp RetryPolicy) Option {
+	return func(p *Pipeline) { p.retry = rp; p.hasRetry = true }
+}
+
+// exchangeClient builds the pipeline's exchange client from its options.
+func (p *Pipeline) exchangeClient() *exchange.Client {
+	var opts []exchange.ClientOption
+	if p.httpClient != nil {
+		opts = append(opts, exchange.WithHTTPClient(p.httpClient))
+	}
+	if p.hasRetry {
+		opts = append(opts, exchange.WithRetryPolicy(p.retry))
+	}
+	return exchange.NewClient(opts...)
+}
+
+// NewModelServer returns an http.Handler publishing the models at
+// /models/<schema> in wire format v1, each with its content hash as a
+// strong ETag, plus a /models listing. Serve it with net/http to become a
+// model hub other parties can assess against.
+func NewModelServer(models ...*Model) (http.Handler, error) {
+	return exchange.NewServer(models...)
+}
+
+// FetchModels fetches every peer's published models, degrading gracefully:
+// it returns the models it could get (in peer order) and a report naming
+// each peer that failed. Peers are base URLs of model hubs, e.g.
+// "http://host:8080".
+func (p *Pipeline) FetchModels(ctx context.Context, peers []string) ([]*Model, []PeerError) {
+	return p.exchangeClient().FetchAll(ctx, peers)
+}
+
+// RemoteAssessment is the outcome of assessing a local schema against the
+// models fetched from remote peers.
+type RemoteAssessment struct {
+	// Verdicts maps every local element to its linkability verdict.
+	Verdicts map[ElementID]bool
+	// Used names the schemas of the foreign models that were applied,
+	// in peer order.
+	Used []string
+	// Failed names the peers (or individual peer models) that could not
+	// be fetched. The assessment above excludes their contribution.
+	Failed []PeerError
+}
+
+// AssessRemote fetches the peers' models and runs Algorithm 2 for the local
+// schema against whichever peers responded. Missing peers do not abort the
+// round: assessment proceeds with fewer foreign models — conservative, per
+// the paper's design — and Failed reports who was absent. Models published
+// under the local schema's own name are skipped, as Algorithm 2 requires.
+func (p *Pipeline) AssessRemote(ctx context.Context, s *Schema, peers []string) (*RemoteAssessment, error) {
+	fetched, failed := p.exchangeClient().FetchAll(ctx, peers)
+	set, err := p.EncodeContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	foreign := foreignModels(fetched, s.Name)
+	verdicts, err := core.AssessContext(ctx, p.workers, set, foreign, core.AssessConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res := &RemoteAssessment{Verdicts: verdicts, Failed: failed}
+	for _, m := range foreign {
+		res.Used = append(res.Used, m.Schema)
+	}
+	return res, nil
+}
+
+// RemoteScopeResult is the outcome of a remote collaborative-scoping round
+// for one party.
+type RemoteScopeResult struct {
+	ScopeResult
+	// Local is the local model trained at the round's explained variance —
+	// the model this party publishes to its peers.
+	Local *Model
+	// Used names the schemas of the foreign models applied.
+	Used []string
+	// Failed names the peers that contributed nothing; the verdicts above
+	// exclude their models.
+	Failed []PeerError
+}
+
+// CollaborativeScopeRemote runs one party's side of the paper's distributed
+// workflow end to end: train the local model at explained variance
+// v ∈ (0, 1] (Algorithm 1), fetch the peers' models, and assess the local
+// schema against whoever responded (Algorithm 2). The result carries the
+// local verdicts and streamlined schema, the local model (for publishing),
+// and the per-peer failure report. With every peer absent the verdicts are
+// all-unlinkable — the method's conservative floor — so callers that need
+// a quorum should check Failed.
+func (p *Pipeline) CollaborativeScopeRemote(ctx context.Context, s *Schema, v float64, peers []string) (*RemoteScopeResult, error) {
+	set, err := p.EncodeContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	local, err := core.Train(set, v)
+	if err != nil {
+		return nil, err
+	}
+	fetched, failed := p.exchangeClient().FetchAll(ctx, peers)
+	foreign := foreignModels(fetched, s.Name)
+	verdicts, err := core.AssessContext(ctx, p.workers, set, foreign, core.AssessConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res := &RemoteScopeResult{
+		ScopeResult: *newScopeResult([]*Schema{s}, verdicts),
+		Local:       local,
+		Failed:      failed,
+	}
+	for _, m := range foreign {
+		res.Used = append(res.Used, m.Schema)
+	}
+	return res, nil
+}
+
+// foreignModels drops models stamped with the local schema's name: a hub
+// may republish every party's model, and Algorithm 2 must not let a schema
+// assess against itself (self-reconstruction trivially succeeds).
+func foreignModels(models []*Model, local string) []*Model {
+	foreign := make([]*Model, 0, len(models))
+	for _, m := range models {
+		if m.Schema != local {
+			foreign = append(foreign, m)
+		}
+	}
+	return foreign
+}
