@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzz-smoke ci bench bench-parallel
+.PHONY: all build test race vet fmt fuzz-smoke chaos ci bench bench-parallel
 
 all: build
 
@@ -25,6 +25,18 @@ fmt:
 # surface exposed to untrusted peers via internal/exchange.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzReadModelJSON -fuzztime=5s ./internal/core
+
+# chaos runs the deterministic fault-injection suite: seed-driven injected
+# errors, panics, delays, and payload corruption across the parallel pool,
+# the exchange client/server, and the dataset loaders (see DESIGN.md §9).
+# CHAOS_SEED varies the corruption-sweep seeds without losing determinism.
+CHAOS_SEED ?= 1
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 \
+		-run 'Chaos|Injected|Corrupt|FaultInject|LoadHook|KilledMidRun' \
+		./internal/parallel ./internal/faultinject ./internal/exchange \
+		./internal/schema ./internal/embed ./internal/checkpoint \
+		./internal/core ./internal/experiments
 
 # ci is the tier-1 verification gate: formatting, vet, the full test suite
 # under the race detector, and the wire-reader fuzz smoke.

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"collabscope"
+	"collabscope/internal/checkpoint"
 	"collabscope/internal/datasets"
 	"collabscope/internal/experiments"
 	"collabscope/internal/metrics"
@@ -45,7 +46,9 @@ func main() {
 		fast       = flag.Bool("fast", false, "reduced settings (smaller dimension and grids)")
 		dim        = flag.Int("dim", 0, "override signature dimensionality")
 		csvDir     = flag.String("csv", "", "also write figure series as CSV files into this directory")
-		detector   = flag.String("detector", "pca:0.5",
+		ckptDir    = flag.String("checkpoint", "",
+			"persist sweep cells into this directory; a rerun resumes where a killed run stopped")
+		detector = flag.String("detector", "pca:0.5",
 			"scoping detector for the Figure 5-6 curves: "+strings.Join(collabscope.Detectors(), ", ")+" (name or name:param)")
 	)
 	flag.Parse()
@@ -57,6 +60,11 @@ func main() {
 	}
 	if *dim > 0 {
 		cfg.Dim = *dim
+	}
+	if *ckptDir != "" {
+		store, err := checkpoint.Open(*ckptDir)
+		fatal(err)
+		cfg.Checkpoint = store
 	}
 	det, err := collabscope.ParseDetector(*detector)
 	if err != nil {
@@ -422,6 +430,9 @@ func slug(s string) string {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		if hint := collabscope.ExplainError(err); hint != "" {
+			fmt.Fprintln(os.Stderr, "benchtables: ("+hint+")")
+		}
 		os.Exit(1)
 	}
 }

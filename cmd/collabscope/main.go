@@ -458,6 +458,11 @@ func readTruth(data string) (*collabscope.GroundTruth, error) {
 func fatal(err error) {
 	if err != nil {
 		// Library errors already carry the "collabscope: " prefix.
+		if hint := collabscope.ExplainError(err); hint != "" {
+			fmt.Fprintf(os.Stderr, "collabscope: %s\ncollabscope: (%s)\n",
+				strings.TrimPrefix(err.Error(), "collabscope: "), hint)
+			os.Exit(1)
+		}
 		fatalf("%s", strings.TrimPrefix(err.Error(), "collabscope: "))
 	}
 }

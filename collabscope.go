@@ -2,6 +2,7 @@ package collabscope
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,8 +12,10 @@ import (
 	"collabscope/internal/datasets"
 	"collabscope/internal/embed"
 	"collabscope/internal/integrate"
+	"collabscope/internal/linalg"
 	"collabscope/internal/match"
 	"collabscope/internal/outlier"
+	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 	"collabscope/internal/scoping"
 )
@@ -68,6 +71,50 @@ const (
 	InterIdentical = schema.InterIdentical
 	InterSubTyped  = schema.InterSubTyped
 )
+
+// Failure taxonomy (DESIGN.md §9). Every pipeline stage wraps its failures
+// around one of these sentinels, naming the offending schema and element,
+// so callers can classify with errors.Is: bad input data (ErrNonFinite),
+// numerically hopeless input (ErrSVDNoConvergence), unusable training
+// output (ErrDegenerateModel), or a bug in stage code (PanicError).
+var (
+	// ErrNonFinite reports NaN/Inf contamination in signatures or matrices,
+	// detected at pipeline ingress (signature encoding) and before every
+	// model fit.
+	ErrNonFinite = linalg.ErrNonFinite
+	// ErrSVDNoConvergence reports that the Jacobi SVD exhausted its sweep
+	// budget without converging, instead of silently returning a partial
+	// decomposition.
+	ErrSVDNoConvergence = linalg.ErrSVDNoConvergence
+	// ErrDegenerateModel reports that training produced a model that cannot
+	// assess anything (no components, or a non-finite linkability range).
+	ErrDegenerateModel = core.ErrDegenerateModel
+)
+
+// PanicError reports a panic recovered inside a parallel pipeline stage.
+// It identifies the offending element index and carries the panic value and
+// stack; one malformed element fails one call, never the process.
+type PanicError = parallel.PanicError
+
+// ExplainError returns a one-line operator hint classifying a pipeline
+// failure against the taxonomy, or "" when the error matches no class. The
+// CLIs print it under the raw error.
+func ExplainError(err error) string {
+	var pe *PanicError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &pe):
+		return fmt.Sprintf("an element handler panicked on item %d — a bug in stage code, not bad input; the error carries the stack", pe.Index)
+	case errors.Is(err, ErrNonFinite):
+		return "a signature contains NaN/Inf — the error names the schema element and dimension; check the encoder input"
+	case errors.Is(err, ErrSVDNoConvergence):
+		return "the SVD exhausted its sweep budget — the input matrix is numerically ill-conditioned"
+	case errors.Is(err, ErrDegenerateModel):
+		return "training produced an unusable model — the schema's signatures may be constant, empty, or contaminated"
+	}
+	return ""
+}
 
 // TableID returns the element identifier of a table.
 func TableID(schemaName, table string) ElementID { return schema.TableID(schemaName, table) }

@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type cell struct {
+	V   float64 `json:"v"`
+	TP  int     `json:"tp"`
+	Tag string  `json:"tag"`
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cell{V: 0.85, TP: 17, Tag: "oc3"}
+	if err := s.Save("oc3/dim=768/collab/v=0.85", want); err != nil {
+		t.Fatal(err)
+	}
+	var got cell
+	ok, err := s.Load("oc3/dim=768/collab/v=0.85", &got)
+	if err != nil || !ok {
+		t.Fatalf("Load = (%v, %v), want hit", ok, err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	// A different key — even one slugging to the same fragment — is a miss.
+	ok, err = s.Load("oc3/dim=768/collab/v=0.95", &got)
+	if err != nil || ok {
+		t.Fatalf("Load of absent key = (%v, %v), want miss", ok, err)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Save("k", cell{TP: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got cell
+	if ok, err := s.Load("k", &got); err != nil || !ok || got.TP != 2 {
+		t.Fatalf("Load = (%v, %v, %+v), want latest write", ok, err, got)
+	}
+	// No temp files may survive a completed save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files for one key", len(entries))
+	}
+}
+
+func TestCorruptCellQuarantinedAndMissed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("k", cell{TP: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk; the hash trailer must catch it.
+	path := s.path("k")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.Index(string(b), `"tp":5`)
+	if i < 0 {
+		t.Fatalf("payload not found in %s", b)
+	}
+	b[i+len(`"tp":`)] = '9'
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got cell
+	ok, err := s.Load("k", &got)
+	if err != nil || ok {
+		t.Fatalf("Load of corrupt cell = (%v, %v), want quarantined miss", ok, err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt cell not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt cell still in place: %v", err)
+	}
+	// Recompute-and-save heals the cell.
+	if err := s.Save("k", cell{TP: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Load("k", &got); err != nil || !ok || got.TP != 5 {
+		t.Fatalf("healed Load = (%v, %v, %+v)", ok, err, got)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("k", cell{TP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(s.path("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v cell
+	if err := Verify(good, "k", &v); err != nil {
+		t.Fatalf("Verify of intact cell: %v", err)
+	}
+	cases := map[string][]byte{
+		"not json":      []byte("{nope"),
+		"wrong key":     good,
+		"future":        []byte(`{"version":99,"key":"k","payload":{},"sum":"x"}`),
+		"missing sum":   []byte(`{"version":1,"key":"k","payload":{}}`),
+		"bad sum":       []byte(strings.Replace(string(good), `"sum":"`, `"sum":"0`, 1)),
+		"tampered body": []byte(strings.Replace(string(good), `"tp":1`, `"tp":2`, 1)),
+	}
+	for name, b := range cases {
+		key := "k"
+		if name == "wrong key" {
+			key = "other"
+		}
+		if err := Verify(b, key, &v); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Verify = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestDistinctKeysNeverCollide(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same slug, different keys (slug strips the differing rune).
+	a, b := "pre fix/v=1", "pre-fix/v=1"
+	if slug(a) != slug(b) {
+		t.Fatalf("test premise broken: slugs differ (%q vs %q)", slug(a), slug(b))
+	}
+	if s.path(a) == filepath.Clean(s.path(b)) {
+		t.Fatal("distinct keys mapped to one file")
+	}
+	if err := s.Save(a, cell{TP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(b, cell{TP: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var got cell
+	if ok, _ := s.Load(a, &got); !ok || got.TP != 1 {
+		t.Fatalf("key a = (%v, %+v)", ok, got)
+	}
+	if ok, _ := s.Load(b, &got); !ok || got.TP != 2 {
+		t.Fatalf("key b = (%v, %+v)", ok, got)
+	}
+}

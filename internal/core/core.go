@@ -14,7 +14,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"collabscope/internal/embed"
 	"collabscope/internal/linalg"
@@ -22,6 +24,14 @@ import (
 	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
+
+// ErrDegenerateModel marks a training run whose fitted model is unusable:
+// no principal components were retained, or the linkability range l_k
+// (Definition 3) came out non-finite. Such a model would silently poison
+// every Algorithm 2 verdict computed against it, so training fails loudly
+// instead of publishing it. (A zero range from bit-identical training
+// signatures is NOT degenerate — it is the documented conservative floor.)
+var ErrDegenerateModel = errors.New("core: degenerate model")
 
 // Model is the local self-supervised encoder-decoder M_k = {μ_k, PC_k, l_k}
 // of Algorithm 1, as exchanged between schemas.
@@ -61,10 +71,40 @@ func Train(set *embed.SignatureSet, v float64) (*Model, error) {
 	if v <= 0 || v > 1 {
 		return nil, fmt.Errorf("core: explained variance %v outside (0, 1]", v)
 	}
-	pca := linalg.FitPCA(set.Matrix, v)
+	pca, err := linalg.FitPCAChecked(set.Matrix, v)
+	if err != nil {
+		return nil, trainError(name, set, err)
+	}
 	m := &Model{Schema: name, Variance: v, pca: pca}
 	m.Range = maxOf(pca.ReconstructionErrors(set.Matrix))
-	return m, nil
+	return m, checkModel(m)
+}
+
+// trainError wraps a numeric failure with the offending schema — and, for
+// non-finite input, the offending element — so the taxonomy errors carried
+// up through the pipeline and CLIs name what actually broke.
+func trainError(name string, set *embed.SignatureSet, err error) error {
+	if errors.Is(err, linalg.ErrNonFinite) {
+		for i := 0; i < set.Len(); i++ {
+			if j := linalg.FirstNonFinite(set.Matrix.RowView(i)); j >= 0 {
+				return fmt.Errorf("core: train schema %q: signature of %s is non-finite at dimension %d: %w",
+					name, set.IDs[i], j, err)
+			}
+		}
+	}
+	return fmt.Errorf("core: train schema %q: %w", name, err)
+}
+
+// checkModel enforces the ErrDegenerateModel taxonomy on a freshly trained
+// model before it can be published or assessed against.
+func checkModel(m *Model) error {
+	if m.pca.NComp == 0 {
+		return fmt.Errorf("%w: schema %q retained no principal components", ErrDegenerateModel, m.Schema)
+	}
+	if math.IsNaN(m.Range) || math.IsInf(m.Range, 0) {
+		return fmt.Errorf("%w: schema %q has non-finite linkability range %v", ErrDegenerateModel, m.Schema, m.Range)
+	}
+	return nil
 }
 
 // singleSchemaName validates that every signature in the set belongs to the
@@ -96,7 +136,10 @@ func TrainFixedComponents(set *embed.SignatureSet, n int) (*Model, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: need at least 1 component, got %d", n)
 	}
-	full := linalg.FitPCA(set.Matrix, 1.0)
+	full, err := linalg.FitPCAChecked(set.Matrix, 1.0)
+	if err != nil {
+		return nil, trainError(name, set, err)
+	}
 	if n > full.Components.Rows() {
 		n = full.Components.Rows()
 	}
@@ -110,7 +153,7 @@ func TrainFixedComponents(set *embed.SignatureSet, n int) (*Model, error) {
 	}
 	m := &Model{Schema: name, Variance: 0, pca: pca}
 	m.Range = maxOf(pca.ReconstructionErrors(set.Matrix))
-	return m, nil
+	return m, checkModel(m)
 }
 
 func componentSlice(full *linalg.PCA, n int) *linalg.Dense {
@@ -263,7 +306,11 @@ func NewScoperContext(ctx context.Context, workers int, sets []*embed.SignatureS
 	}
 	s.full = make([]*linalg.PCA, len(sets))
 	err := parallel.ForEach(ctx, workers, len(sets), func(i int) error {
-		s.full[i] = s.fit(sets[i])
+		pca, ferr := s.fit(sets[i])
+		if ferr != nil {
+			return ferr
+		}
+		s.full[i] = pca
 		return nil
 	})
 	if err != nil {
@@ -273,11 +320,20 @@ func NewScoperContext(ctx context.Context, workers int, sets []*embed.SignatureS
 }
 
 // fit decomposes one signature set, exactly or via the randomized path.
-func (s *Scoper) fit(set *embed.SignatureSet) *linalg.PCA {
+// Numeric failures — non-finite signatures, a non-converging SVD — surface
+// as taxonomy errors naming the schema instead of poisoning the model.
+func (s *Scoper) fit(set *embed.SignatureSet) (*linalg.PCA, error) {
 	if s.cfg.ApproxMaxRank > 0 {
-		return linalg.FitPCAApprox(set.Matrix, 1.0, s.cfg.ApproxMaxRank, s.cfg.Seed)
+		if err := linalg.CheckFinite(set.Matrix); err != nil {
+			return nil, trainError(set.IDs[0].Schema, set, err)
+		}
+		return linalg.FitPCAApprox(set.Matrix, 1.0, s.cfg.ApproxMaxRank, s.cfg.Seed), nil
 	}
-	return linalg.FitPCA(set.Matrix, 1.0)
+	pca, err := linalg.FitPCAChecked(set.Matrix, 1.0)
+	if err != nil {
+		return nil, trainError(set.IDs[0].Schema, set, err)
+	}
+	return pca, nil
 }
 
 // UpdateSchema replaces schema i's signature set after a schema evolution
@@ -295,8 +351,12 @@ func (s *Scoper) UpdateSchema(i int, set *embed.SignatureSet) error {
 		return fmt.Errorf("core: updated set has dimension %d, want %d",
 			set.Matrix.Cols(), s.sets[i].Matrix.Cols())
 	}
+	pca, err := s.fit(set)
+	if err != nil {
+		return err
+	}
 	s.sets[i] = set
-	s.full[i] = s.fit(set)
+	s.full[i] = pca
 	return nil
 }
 
@@ -320,6 +380,9 @@ func (s *Scoper) ModelsContext(ctx context.Context, v float64) ([]*Model, error)
 		pca := s.full[i].Truncate(v)
 		m := &Model{Schema: set.IDs[0].Schema, Variance: v, pca: pca}
 		m.Range = maxOf(pca.ReconstructionErrors(set.Matrix))
+		if cerr := checkModel(m); cerr != nil {
+			return cerr
+		}
 		models[i] = m
 		return nil
 	})
@@ -392,26 +455,11 @@ func (s *Scoper) Sweep(labels map[schema.ElementID]bool, grid []float64) ([]metr
 	return s.SweepContext(context.Background(), labels, grid)
 }
 
-// SweepContext is Sweep with cancellation between grid points.
+// SweepContext is Sweep with cancellation between grid points. For
+// long-running sweeps that must survive a mid-run crash, see
+// SweepCheckpointedContext.
 func (s *Scoper) SweepContext(ctx context.Context, labels map[schema.ElementID]bool, grid []float64) ([]metrics.SweepEntry, error) {
-	entries := make([]metrics.SweepEntry, 0, len(grid))
-	for _, v := range grid {
-		if v <= 0 {
-			continue // v = 0 retains no variance; undefined in the paper's (1..0) range
-		}
-		keep, err := s.ScopeContext(ctx, v)
-		if err != nil {
-			return nil, err
-		}
-		var c metrics.Confusion
-		for _, set := range s.sets {
-			for _, id := range set.IDs {
-				c.Observe(keep[id], labels[id])
-			}
-		}
-		entries = append(entries, metrics.SweepEntry{Param: v, Confusion: c})
-	}
-	return entries, nil
+	return s.SweepCheckpointedContext(ctx, labels, grid, nil, "")
 }
 
 // Evaluate computes the Table-4 AUC summary of collaborative scoping over

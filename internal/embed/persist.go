@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"collabscope/internal/faultinject"
 	"collabscope/internal/linalg"
 	"collabscope/internal/schema"
 )
@@ -28,7 +29,11 @@ func (s *SignatureSet) WriteJSON(w io.Writer) error {
 }
 
 // ReadSignatureSetJSON deserialises and validates a signature set.
+// "embed.load" is a fault-injection hook point (see internal/faultinject).
 func ReadSignatureSetJSON(r io.Reader) (*SignatureSet, error) {
+	if err := faultinject.Hit("embed.load"); err != nil {
+		return nil, fmt.Errorf("embed: read signature set: %w", err)
+	}
 	var wire signatureSetJSON
 	if err := json.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("embed: decode signature set: %w", err)

@@ -2,6 +2,7 @@ package embed
 
 import (
 	"context"
+	"fmt"
 
 	"collabscope/internal/linalg"
 	"collabscope/internal/parallel"
@@ -48,7 +49,16 @@ func encodeElements(ctx context.Context, workers int, enc Encoder, els []schema.
 	m := linalg.NewDense(len(els), enc.Dim())
 	err := parallel.ForEach(ctx, workers, len(els), func(i int) error {
 		ids[i] = els[i].ID
-		copy(m.RowView(i), enc.Encode(els[i].Text))
+		row := m.RowView(i)
+		copy(row, enc.Encode(els[i].Text))
+		// Pipeline ingress guard: a NaN/Inf signature would flow unchecked
+		// into every trained model and linkability range l_k (Definition 3),
+		// poisoning all downstream Algorithm 2 verdicts. Fail here, naming
+		// the offending element, under the pool's lowest-index determinism.
+		if j := linalg.FirstNonFinite(row); j >= 0 {
+			return fmt.Errorf("embed: signature of %s is non-finite at dimension %d (%v): %w",
+				els[i].ID, j, row[j], linalg.ErrNonFinite)
+		}
 		return nil
 	})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"collabscope/internal/core"
+	"collabscope/internal/faultinject"
 	"collabscope/internal/parallel"
 )
 
@@ -80,6 +81,13 @@ func (e PeerError) Unwrap() error { return e.Err }
 type Client struct {
 	hc     *http.Client
 	policy RetryPolicy
+	// randN draws the backoff jitter: a uniform duration in [0, n). It
+	// defaults to the shared math/rand/v2 generator and is injectable so
+	// tests can pin the exact retry schedule.
+	randN func(n time.Duration) time.Duration
+	// inject, when set, scopes fault injection to this client instance
+	// (taking precedence over any globally armed injector).
+	inject *faultinject.Injector
 }
 
 // ClientOption configures a Client.
@@ -100,14 +108,54 @@ func WithRetryPolicy(p RetryPolicy) ClientOption {
 	return func(c *Client) { c.policy = p.withDefaults() }
 }
 
+// WithJitterRand replaces the backoff jitter's randomness source with a
+// dedicated generator, making the full retry schedule a deterministic
+// function of the generator's seed.
+func WithJitterRand(r *rand.Rand) ClientOption {
+	return func(c *Client) {
+		if r != nil {
+			c.randN = func(n time.Duration) time.Duration {
+				return time.Duration(r.Int64N(int64(n)))
+			}
+		}
+	}
+}
+
+// WithFaultInjector arms a fault injector on this client only (sites
+// exchange.client.request and exchange.client.body), so chaos tests can
+// target one client without touching process-global state.
+func WithFaultInjector(in *faultinject.Injector) ClientOption {
+	return func(c *Client) { c.inject = in }
+}
+
 // NewClient returns a fetching client with the default transport and retry
 // policy.
 func NewClient(opts ...ClientOption) *Client {
-	c := &Client{hc: http.DefaultClient, policy: DefaultRetryPolicy()}
+	c := &Client{
+		hc:     http.DefaultClient,
+		policy: DefaultRetryPolicy(),
+		randN:  func(n time.Duration) time.Duration { return rand.N(n) },
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// hit and corrupt route fault-injection hooks through the instance-scoped
+// injector when one is set, else through the globally armed one.
+func (c *Client) hit(site string) error {
+	if c.inject != nil {
+		return c.inject.Hit(site)
+	}
+	return faultinject.Hit(site)
+}
+
+func (c *Client) corrupt(site string, b []byte) []byte {
+	if c.inject != nil {
+		return c.inject.Corrupt(site, b)
+	}
+	return faultinject.Corrupt(site, b)
 }
 
 // statusError is a non-2xx response; retryable for 5xx and 429.
@@ -156,7 +204,13 @@ func (c *Client) get(ctx context.Context, rawURL string) (body []byte, etag stri
 }
 
 // once performs a single attempt under the policy's per-request timeout.
+// "exchange.client.request" (error/delay before the attempt) and
+// "exchange.client.body" (response corruption, caught downstream by the
+// wire format's hash trailer) are fault-injection hook points.
 func (c *Client) once(ctx context.Context, rawURL string) ([]byte, string, error) {
+	if err := c.hit("exchange.client.request"); err != nil {
+		return nil, "", err
+	}
 	actx, cancel := context.WithTimeout(ctx, c.policy.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
@@ -180,7 +234,7 @@ func (c *Client) once(ctx context.Context, rawURL string) ([]byte, string, error
 	if len(body) > maxResponseBody {
 		return nil, "", fmt.Errorf("response exceeds %d bytes", maxResponseBody)
 	}
-	return body, resp.Header.Get("ETag"), nil
+	return c.corrupt("exchange.client.body", body), resp.Header.Get("ETag"), nil
 }
 
 // backoff returns the jittered delay before retry number attempt (≥ 1):
@@ -195,7 +249,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 		delay = c.policy.MaxDelay
 	}
 	half := delay / 2
-	return half + rand.N(delay-half+1)
+	return half + c.randN(delay-half+1)
 }
 
 func sleepContext(ctx context.Context, d time.Duration) error {

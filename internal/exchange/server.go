@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"collabscope/internal/core"
+	"collabscope/internal/faultinject"
 )
 
 // Listing is the body of GET /models: the wire version the hub speaks and
@@ -59,6 +60,31 @@ type published struct {
 type Server struct {
 	mu     sync.RWMutex
 	models map[string]*published
+	// inject, when set, scopes fault injection to this hub instance (sites
+	// exchange.server.request and exchange.server.body), so chaos tests can
+	// make exactly one peer of a fleet misbehave.
+	inject *faultinject.Injector
+}
+
+// SetFaultInjector arms (or, with nil, disarms) an instance-scoped fault
+// injector on this hub. It takes precedence over a globally armed injector.
+func (s *Server) SetFaultInjector(in *faultinject.Injector) {
+	s.mu.Lock()
+	s.inject = in
+	s.mu.Unlock()
+}
+
+func (s *Server) injector() *faultinject.Injector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inject
+}
+
+func (s *Server) hit(site string) error {
+	if in := s.injector(); in != nil {
+		return in.Hit(site)
+	}
+	return faultinject.Hit(site)
 }
 
 // NewServer returns a hub publishing the given models.
@@ -108,7 +134,14 @@ func (s *Server) Schemas() []string {
 }
 
 // ServeHTTP routes /models and /models/<schema>.
+// "exchange.server.request" is a fault-injection hook point: injected
+// delays stall the response (exercising client timeouts) and injected
+// errors turn into 500s (exercising client retries).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if err := s.hit("exchange.server.request"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -153,7 +186,16 @@ func (s *Server) serveModel(w http.ResponseWriter, r *http.Request, name string)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	_, _ = w.Write(p.body)
+	// "exchange.server.body" corrupts the served model bytes (on a copy —
+	// the published bytes are frozen and shared). The client's end-to-end
+	// checksum validation must catch the damage.
+	body := p.body
+	if in := s.injector(); in != nil {
+		body = in.Corrupt("exchange.server.body", append([]byte(nil), body...))
+	} else if faultinject.Armed() {
+		body = faultinject.Corrupt("exchange.server.body", append([]byte(nil), body...))
+	}
+	_, _ = w.Write(body)
 }
 
 // etagMatches reports whether an If-None-Match header value matches the

@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"collabscope/internal/linalg"
 
 	"collabscope/internal/core"
@@ -40,6 +42,11 @@ type Config struct {
 	AEModels, AEEpochs int
 	// Seed drives all stochastic components.
 	Seed int64
+	// Checkpoint, when non-nil, persists every collaborative sweep cell as
+	// it completes (see internal/checkpoint), so a killed benchmark run
+	// resumes where it stopped and reproduces bit-identical tables. Nil
+	// keeps the sweeps in memory only.
+	Checkpoint core.CellStore
 }
 
 // DefaultConfig returns paper-fidelity settings.
@@ -176,14 +183,25 @@ func Table4(cfg Config, enc *Encoded) ([]Table4Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum, err := scoper.Evaluate(enc.Labels, cfg.VGrid, cfg.ROCLambda)
+	sweep, err := collabSweep(cfg, enc, scoper)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, Table4Row{
-		Method: "Collaborative", ODA: "PCA", Dataset: enc.Dataset.Name, Summary: sum,
+		Method: "Collaborative", ODA: "PCA", Dataset: enc.Dataset.Name,
+		Summary: metrics.Summarize(sweep, cfg.ROCLambda),
 	})
 	return rows, nil
+}
+
+// collabSweep runs the collaborative explained-variance sweep, routed
+// through the checkpoint store when one is configured. The cell prefix
+// encodes the dataset and signature dimensionality — everything a cell
+// depends on besides v — so Table4 and CollaborativeCurves share cells and
+// a store populated under one configuration can never poison another.
+func collabSweep(cfg Config, enc *Encoded, scoper *core.Scoper) ([]metrics.SweepEntry, error) {
+	prefix := fmt.Sprintf("%s/dim=%d/collab", enc.Dataset.Name, cfg.Dim)
+	return scoper.SweepCheckpointed(enc.Labels, cfg.VGrid, cfg.Checkpoint, prefix)
 }
 
 // BestScoping returns the scoping row with the highest AUC-PR (the paper's
@@ -239,7 +257,7 @@ func CollaborativeCurves(cfg Config, enc *Encoded) (CurveSet, error) {
 	if err != nil {
 		return CurveSet{}, err
 	}
-	sweep, err := scoper.Sweep(enc.Labels, cfg.VGrid)
+	sweep, err := collabSweep(cfg, enc, scoper)
 	if err != nil {
 		return CurveSet{}, err
 	}

@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRateZeroAndUnplannedSitesNeverFire(t *testing.T) {
+	in := New(42,
+		Fault{Site: "a", Kind: KindError, Rate: 0},
+	)
+	for i := 0; i < 100; i++ {
+		if err := in.Hit("a"); err != nil {
+			t.Fatalf("rate-0 fault fired: %v", err)
+		}
+		if err := in.Hit("unplanned"); err != nil {
+			t.Fatalf("unplanned site fired: %v", err)
+		}
+	}
+	if ev := in.Events(); len(ev) != 0 {
+		t.Fatalf("events = %v, want none", ev)
+	}
+}
+
+func TestRateOneAlwaysFiresAndWrapsSentinel(t *testing.T) {
+	in := New(1, Fault{Site: "s", Kind: KindError, Rate: 1})
+	for i := 0; i < 5; i++ {
+		err := in.Hit("s")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if ev := in.Events(); len(ev) != 5 || ev[4].Ordinal != 4 {
+		t.Fatalf("events = %v, want 5 firings with ordinals 0..4", ev)
+	}
+}
+
+func TestAtOrdinalsFireExactly(t *testing.T) {
+	in := New(7, Fault{Site: "s", Kind: KindError, At: []uint64{0, 3}})
+	var fired []int
+	for i := 0; i < 6; i++ {
+		if in.Hit("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if !reflect.DeepEqual(fired, []int{0, 3}) {
+		t.Fatalf("fired at %v, want [0 3]", fired)
+	}
+}
+
+func TestRateScheduleIsSeedDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed, Fault{Site: "s", Kind: KindError, Rate: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Hit("s") != nil
+		}
+		return out
+	}
+	a, b := schedule(5), schedule(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := schedule(6)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules (suspicious mixing)")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	// 200 trials at rate 0.3: expect ~60; anything far outside means the
+	// scaled splitmix output is biased.
+	if fired < 30 || fired > 90 {
+		t.Fatalf("rate 0.3 fired %d/200 times", fired)
+	}
+}
+
+func TestPanicKindPanicsWithDescriptiveValue(t *testing.T) {
+	in := New(1, Fault{Site: "s", Kind: KindPanic, At: []uint64{0}})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		msg, ok := v.(string)
+		if !ok || !strings.Contains(msg, "s") || !strings.Contains(msg, "injected panic") {
+			t.Fatalf("panic value = %v", v)
+		}
+	}()
+	_ = in.Hit("s")
+}
+
+func TestDelayKindSleeps(t *testing.T) {
+	in := New(1, Fault{Site: "s", Kind: KindDelay, Delay: 30 * time.Millisecond, At: []uint64{0}})
+	start := time.Now()
+	if err := in.Hit("s"); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("hit returned after %v, want ≥ 30ms sleep", d)
+	}
+}
+
+func TestCorruptFlipsOneDeterministicByte(t *testing.T) {
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	corrupt := func() []byte {
+		in := New(9, Fault{Site: "s", Kind: KindCorrupt, Rate: 1})
+		return in.Corrupt("s", append([]byte(nil), orig...))
+	}
+	a, b := corrupt(), corrupt()
+	diff := 0
+	for i := range orig {
+		if a[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed corrupted different bytes")
+	}
+	// KindCorrupt never fires through Hit, and Hit kinds never fire
+	// through Corrupt.
+	in := New(9, Fault{Site: "s", Kind: KindCorrupt, Rate: 1})
+	if err := in.Hit("s"); err != nil {
+		t.Fatalf("corrupt fault fired through Hit: %v", err)
+	}
+	in2 := New(9, Fault{Site: "s", Kind: KindError, Rate: 1})
+	if got := in2.Corrupt("s", append([]byte(nil), orig...)); !reflect.DeepEqual(got, orig) {
+		t.Fatal("error fault fired through Corrupt")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("s"); err != nil {
+		t.Fatalf("nil Hit = %v", err)
+	}
+	b := []byte("abc")
+	if got := in.Corrupt("s", b); !reflect.DeepEqual(got, b) {
+		t.Fatal("nil Corrupt touched the payload")
+	}
+	if ev := in.Events(); ev != nil {
+		t.Fatalf("nil Events = %v", ev)
+	}
+}
+
+func TestGlobalArmDisarm(t *testing.T) {
+	if Armed() {
+		t.Fatal("injector armed at test start")
+	}
+	if err := Hit("s"); err != nil {
+		t.Fatalf("disarmed Hit = %v", err)
+	}
+	in := New(1, Fault{Site: "s", Kind: KindError, Rate: 1})
+	disarm := Arm(in)
+	if !Armed() {
+		t.Fatal("Armed() false after Arm")
+	}
+	if !errors.Is(Hit("s"), ErrInjected) {
+		t.Fatal("armed Hit did not fire")
+	}
+	disarm()
+	if Armed() {
+		t.Fatal("still armed after disarm")
+	}
+	if err := Hit("s"); err != nil {
+		t.Fatalf("Hit after disarm = %v", err)
+	}
+	// Disarming twice (or after another injector armed) must not clobber
+	// someone else's arming.
+	in2 := New(2, Fault{Site: "s", Kind: KindError, Rate: 1})
+	disarm2 := Arm(in2)
+	disarm() // stale
+	if !Armed() {
+		t.Fatal("stale disarm removed a newer injector")
+	}
+	disarm2()
+}

@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Numeric-failure taxonomy. Sentinel errors wrapped (with location detail)
+// by the checked decomposition entry points, so callers can classify
+// failures with errors.Is instead of string matching.
+var (
+	// ErrNonFinite marks NaN or ±Inf values entering a numeric stage.
+	ErrNonFinite = errors.New("linalg: non-finite value")
+	// ErrSVDNoConvergence marks a Jacobi SVD that exhausted its sweep
+	// budget before the off-diagonal mass fell below tolerance.
+	ErrSVDNoConvergence = errors.New("linalg: SVD did not converge")
+)
+
+// FirstNonFinite returns the index of the first NaN or ±Inf entry of v, or
+// -1 if every entry is finite.
+func FirstNonFinite(v []float64) int {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckFinite returns a wrapped ErrNonFinite naming the first offending
+// cell of x, or nil if the whole matrix is finite.
+func CheckFinite(x *Dense) error {
+	for i := 0; i < x.Rows(); i++ {
+		if j := FirstNonFinite(x.RowView(i)); j >= 0 {
+			return fmt.Errorf("%w at row %d, column %d: %v", ErrNonFinite, i, j, x.At(i, j))
+		}
+	}
+	return nil
+}
+
+// ComputeSVDChecked is ComputeSVD with the numeric-failure taxonomy
+// enforced: non-finite input fails with ErrNonFinite before any work, and
+// a decomposition that exhausts the Jacobi sweep budget fails with
+// ErrSVDNoConvergence instead of silently returning a half-converged
+// result.
+func ComputeSVDChecked(x *Dense) (*SVD, error) {
+	if err := CheckFinite(x); err != nil {
+		return nil, err
+	}
+	d := ComputeSVD(x)
+	if !d.Converged {
+		return nil, fmt.Errorf("%w within %d sweeps on a %d×%d matrix",
+			ErrSVDNoConvergence, maxJacobiSweeps, x.Rows(), x.Cols())
+	}
+	return d, nil
+}
+
+// FitPCAChecked is FitPCA with the numeric-failure taxonomy enforced (see
+// ComputeSVDChecked).
+func FitPCAChecked(x *Dense, variance float64) (*PCA, error) {
+	if err := CheckFinite(x); err != nil {
+		return nil, err
+	}
+	mean := x.ColMean()
+	dec, err := ComputeSVDChecked(x.SubRow(mean))
+	if err != nil {
+		return nil, err
+	}
+	return pcaFromSVD(x, mean, dec, variance), nil
+}

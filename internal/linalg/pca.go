@@ -21,8 +21,13 @@ type PCA struct {
 // variance ∈ (0, 1]. It implements lines 3-10 of Algorithm 1.
 func FitPCA(x *Dense, variance float64) *PCA {
 	mean := x.ColMean()
-	centered := x.SubRow(mean)
-	dec := ComputeSVD(centered)
+	return pcaFromSVD(x, mean, ComputeSVD(x.SubRow(mean)), variance)
+}
+
+// pcaFromSVD truncates a computed decomposition of the mean-centred rows of
+// x to the explained-variance target (lines 6-10 of Algorithm 1). Shared by
+// the best-effort and checked fit entry points.
+func pcaFromSVD(x *Dense, mean []float64, dec *SVD, variance float64) *PCA {
 	ev := ExplainedVariance(dec.S)
 	cev := CumulativeSum(ev)
 	n := ComponentsForVariance(cev, variance)

@@ -17,6 +17,11 @@ type SVD struct {
 	U *Dense    // r×n left singular vectors
 	S []float64 // n singular values, descending
 	V *Dense    // c×n right singular vectors (columns)
+	// Converged reports whether the Jacobi iteration drove the
+	// off-diagonal mass below tolerance within its sweep budget. ComputeSVD
+	// still returns the best-effort factors when false; ComputeSVDChecked
+	// turns false into ErrSVDNoConvergence.
+	Converged bool
 }
 
 // Components returns the principal components as an n×c matrix whose rows
@@ -29,30 +34,36 @@ func (d *SVD) Components() *Dense { return d.V.T() }
 func ComputeSVD(x *Dense) *SVD {
 	r, c := x.Rows(), x.Cols()
 	if r == 0 || c == 0 {
-		return &SVD{U: NewDense(r, 0), S: nil, V: NewDense(c, 0)}
+		return &SVD{U: NewDense(r, 0), S: nil, V: NewDense(c, 0), Converged: true}
 	}
 	if r >= c {
-		u, s, v := jacobiSVD(x)
-		return &SVD{U: u, S: s, V: v}
+		u, s, v, ok := jacobiSVD(x)
+		return &SVD{U: u, S: s, V: v, Converged: ok}
 	}
 	// For wide matrices decompose the transpose: Xᵀ = U'·S·V'ᵀ implies
 	// X = V'·S·U'ᵀ, so U = V' and V = U'.
-	u, s, v := jacobiSVD(x.T())
-	return &SVD{U: v, S: s, V: u}
+	u, s, v, ok := jacobiSVD(x.T())
+	return &SVD{U: v, S: s, V: u, Converged: ok}
 }
 
+// maxJacobiSweeps bounds the one-sided Jacobi iteration; small dense
+// schema-scoping matrices converge in a handful of sweeps, so exhausting
+// the budget signals a numerically pathological input rather than a matrix
+// that merely needs patience.
+const maxJacobiSweeps = 60
+
 // jacobiSVD computes the thin SVD of a tall (r ≥ c) matrix via one-sided
-// Jacobi rotations applied to the columns of a working copy of x.
-func jacobiSVD(x *Dense) (u *Dense, s []float64, v *Dense) {
+// Jacobi rotations applied to the columns of a working copy of x. The
+// converged result reports whether the iteration finished a full sweep
+// without rotations inside the budget — a half-converged decomposition is
+// no longer a silent success.
+func jacobiSVD(x *Dense) (u *Dense, s []float64, v *Dense, converged bool) {
 	r, c := x.Rows(), x.Cols()
 	a := x.Clone() // columns converge to U·diag(S)
 	vm := identity(c)
 
-	const (
-		maxSweeps = 60
-		tol       = 1e-12
-	)
-	for sweep := 0; sweep < maxSweeps; sweep++ {
+	const tol = 1e-12
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
 		off := 0.0
 		for p := 0; p < c-1; p++ {
 			for q := p + 1; q < c; q++ {
@@ -96,6 +107,7 @@ func jacobiSVD(x *Dense) (u *Dense, s []float64, v *Dense) {
 			}
 		}
 		if off == 0 {
+			converged = true
 			break
 		}
 	}
@@ -138,7 +150,7 @@ func jacobiSVD(x *Dense) (u *Dense, s []float64, v *Dense) {
 			vSorted.data[i*c+newJ] = vm.data[i*c+oldJ]
 		}
 	}
-	return uSorted, sSorted, vSorted
+	return uSorted, sSorted, vSorted, converged
 }
 
 func identity(n int) *Dense {

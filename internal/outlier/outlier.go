@@ -224,12 +224,34 @@ func (p PCA) Scores(x *linalg.Dense) []float64 {
 	if x.Rows() == 0 {
 		return nil
 	}
-	v := p.Variance
-	if v <= 0 || v > 1 {
-		v = 0.5
-	}
-	fit := linalg.FitPCA(x, v)
+	fit := linalg.FitPCA(x, p.variance())
 	return fit.ReconstructionErrors(x)
+}
+
+func (p PCA) variance() float64 {
+	if p.Variance <= 0 || p.Variance > 1 {
+		return 0.5
+	}
+	return p.Variance
+}
+
+// ScoresContext implements ContextDetector through the checked PCA fit:
+// non-finite signatures and Jacobi non-convergence surface as typed errors
+// (linalg.ErrNonFinite, linalg.ErrSVDNoConvergence) instead of silently
+// producing garbage scores. The fit itself is sequential, so the scores are
+// trivially identical for any worker count.
+func (p PCA) ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if x.Rows() == 0 {
+		return nil, nil
+	}
+	fit, err := linalg.FitPCAChecked(x, p.variance())
+	if err != nil {
+		return nil, fmt.Errorf("outlier: %s: %w", p.Name(), err)
+	}
+	return fit.ReconstructionErrors(x), nil
 }
 
 // Autoencoder scores rows by summed reconstruction error over an ensemble

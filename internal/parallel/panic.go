@@ -1,0 +1,44 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered inside a worker while processing one
+// item. The pool converts panics into errors so that one malformed element
+// fails one ForEach/Map call — deterministically, under the same
+// lowest-index-wins rule as ordinary errors — instead of killing the whole
+// process.
+type PanicError struct {
+	// Index is the item index whose callback panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic processing item %d: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// safeCall invokes fn(i), converting a panic into a *PanicError carrying
+// the item index and the stack of the panicking goroutine.
+func safeCall(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}

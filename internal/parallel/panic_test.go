@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"collabscope/internal/faultinject"
+	"collabscope/internal/leakcheck"
+)
+
+func TestForEachPanicIsolated(t *testing.T) {
+	leakcheck.Guard(t)
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(context.Background(), workers, 100, func(i int) error {
+			if i == 7 {
+				panic("malformed element")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 7 {
+			t.Fatalf("workers=%d: panic index = %d, want 7", workers, pe.Index)
+		}
+		if !strings.Contains(pe.Error(), "item 7") || !strings.Contains(pe.Error(), "malformed element") {
+			t.Fatalf("workers=%d: error does not identify the element: %q", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error carries no stack", workers)
+		}
+	}
+	// The pool is unharmed: the next call on the same goroutine succeeds.
+	if err := ForEach(context.Background(), 4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("pool broken after recovered panic: %v", err)
+	}
+}
+
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	// A panic at a low index beats an ordinary error at a high one, and
+	// vice versa — panics follow the same determinism rule as errors.
+	for _, workers := range []int{1, 8} {
+		err := ForEach(context.Background(), workers, 100, func(i int) error {
+			switch i {
+			case 5:
+				panic("low panic")
+			case 80:
+				return errors.New("high error")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 5 {
+			t.Fatalf("workers=%d: err = %v, want panic at 5", workers, err)
+		}
+
+		organic := errors.New("low error")
+		err = ForEach(context.Background(), workers, 100, func(i int) error {
+			switch i {
+			case 2:
+				return organic
+			case 50:
+				panic("high panic")
+			}
+			return nil
+		})
+		if !errors.Is(err, organic) {
+			t.Fatalf("workers=%d: err = %v, want the index-2 error", workers, err)
+		}
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("typed failure")
+	err := ForEach(context.Background(), 4, 10, func(i int) error {
+		if i == 3 {
+			panic(fmt.Errorf("wrapping: %w", sentinel))
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error-valued panic not reachable via errors.Is: %v", err)
+	}
+}
+
+func TestMapPanicIsolated(t *testing.T) {
+	out, err := Map(context.Background(), 4, []int{0, 1, 2, 3}, func(i, v int) (int, error) {
+		if v == 2 {
+			panic("boom")
+		}
+		return v, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want panic at index 2", err)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on panic", out)
+	}
+}
+
+// TestForEachEmptyRangeSemantics pins the n ≤ 0 contract: a clean nil on a
+// live context, ctx.Err() on a cancelled one, and fn never called either
+// way.
+func TestForEachEmptyRangeSemantics(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if err := ForEach(context.Background(), 4, n, func(int) error {
+			t.Fatalf("fn called for n=%d", n)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d on live context: err = %v, want nil", n, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, n := range []int{0, -5} {
+		err := ForEach(ctx, 4, n, func(int) error {
+			t.Fatalf("fn called for n=%d", n)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("n=%d on cancelled context: err = %v, want context.Canceled", n, err)
+		}
+	}
+}
+
+// TestForEachInjectedPanicChaos drives the parallel.item hook: an injected
+// panic at a fixed hit ordinal fails exactly one call with a *PanicError,
+// and with a single worker the ordinal equals the item index.
+func TestForEachInjectedPanicChaos(t *testing.T) {
+	leakcheck.Guard(t)
+	in := faultinject.New(1, faultinject.Fault{
+		Site: "parallel.item", Kind: faultinject.KindPanic, At: []uint64{3},
+	})
+	disarm := faultinject.Arm(in)
+	defer disarm()
+	err := ForEach(context.Background(), 1, 10, func(int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("err = %v, want injected panic at item 3", err)
+	}
+	events := in.Events()
+	if len(events) != 1 || events[0].Site != "parallel.item" || events[0].Ordinal != 3 {
+		t.Fatalf("events = %v, want one parallel.item firing at ordinal 3", events)
+	}
+	disarm()
+	if err := ForEach(context.Background(), 4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("disarmed run failed: %v", err)
+	}
+}
+
+func TestForEachNoGoroutineLeakUnderFailures(t *testing.T) {
+	leakcheck.Guard(t)
+	for round := 0; round < 5; round++ {
+		_ = ForEach(context.Background(), 8, 1000, func(i int) error {
+			if i == 100 {
+				panic("leak probe")
+			}
+			return nil
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = ForEach(ctx, 8, 100000, func(i int) error {
+			if i == 50 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+}

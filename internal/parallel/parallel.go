@@ -15,6 +15,10 @@
 //   - Cancellation: a cancelled context stops the pool promptly and
 //     ForEach/Map return ctx.Err(). Items already started finish; items
 //     not yet claimed never run.
+//   - Panic isolation: a callback that panics fails only the enclosing
+//     ForEach/Map call, never the process. The panic is recovered into a
+//     *PanicError carrying the item index and stack, and propagates under
+//     the same lowest-index-wins rule as ordinary errors.
 //   - Degradation: workers ≤ 0 means runtime.GOMAXPROCS(0); a pool of one
 //     worker (or a single item) runs inline on the calling goroutine, so
 //     sequential use pays no synchronisation cost.
@@ -25,6 +29,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"collabscope/internal/faultinject"
 )
 
 // Workers normalises a worker-count request: n if positive, otherwise
@@ -38,10 +44,15 @@ func Workers(n int) int {
 
 // ForEach calls fn(i) for every i in [0, n) using up to workers goroutines
 // (GOMAXPROCS if workers ≤ 0). It returns the error of the lowest failing
-// index, or ctx.Err() if the context is cancelled first.
+// index, or ctx.Err() if the context is cancelled first. An empty range
+// (n ≤ 0) is a clean nil on a live context; only an actually cancelled
+// context turns it into ctx.Err().
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
-		return ctx.Err()
+		return nil
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -56,7 +67,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
@@ -97,7 +108,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n || stop() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(fn, i); err != nil {
 					record(i, err)
 					return
 				}
@@ -111,6 +122,17 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		return errAt[int(f)-1]
 	}
 	return ctx.Err()
+}
+
+// call runs the per-item fault-injection hook and the callback with panic
+// recovery. An injected panic is isolated exactly like an organic one.
+func call(fn func(i int) error, i int) error {
+	return safeCall(func(i int) error {
+		if err := faultinject.Hit("parallel.item"); err != nil {
+			return err
+		}
+		return fn(i)
+	}, i)
 }
 
 // Map runs fn over every item with up to workers goroutines and returns the

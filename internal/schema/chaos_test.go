@@ -1,0 +1,83 @@
+package schema
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+
+	"collabscope/internal/faultinject"
+)
+
+// chaosSeed returns the base seed for corruption sweeps. `make chaos`
+// exports CHAOS_SEED so the whole sweep can be shifted deterministically.
+func chaosSeed() int64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 1
+}
+
+func schemaJSON(t *testing.T) []byte {
+	t.Helper()
+	s, err := ParseDDL("S1", `CREATE TABLE T (A NUMBER PRIMARY KEY, B TEXT);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadJSONLoadHook drives the schema.load fault-injection site: an
+// injected error fails the read with the wrapped sentinel, and disarming
+// restores normal loading.
+func TestReadJSONLoadHook(t *testing.T) {
+	b := schemaJSON(t)
+	disarm := faultinject.Arm(faultinject.New(1, faultinject.Fault{
+		Site: "schema.load", Kind: faultinject.KindError, Rate: 1,
+	}))
+	defer disarm()
+	_, err := ReadJSON(bytes.NewReader(b))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	disarm()
+	s, err := ReadJSON(bytes.NewReader(b))
+	if err != nil || s.Name != "S1" {
+		t.Fatalf("disarmed read = (%v, %v)", s, err)
+	}
+}
+
+// TestReadJSONPayloadCorruption sweeps the schema.load.bytes corruption
+// site across many seeds: a flipped byte must either fail the read loudly
+// (decode or validation error) or leave a schema that still passes
+// Validate — ReadJSON may never hand back an unvalidated structure. The
+// hook must demonstrably fire (some seeds reject).
+func TestReadJSONPayloadCorruption(t *testing.T) {
+	b := schemaJSON(t)
+	rejected := 0
+	base := chaosSeed()
+	for seed := base; seed < base+40; seed++ {
+		disarm := faultinject.Arm(faultinject.New(seed, faultinject.Fault{
+			Site: "schema.load.bytes", Kind: faultinject.KindCorrupt, Rate: 1,
+		}))
+		got, err := ReadJSON(bytes.NewReader(b))
+		disarm()
+		if err != nil {
+			rejected++
+			continue
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("seed %d: ReadJSON returned an invalid schema: %v", seed, err)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no corrupted payload was ever rejected across 40 seeds — the hook is not wired")
+	}
+}

@@ -1,9 +1,12 @@
 package schema
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"collabscope/internal/faultinject"
 )
 
 // WriteJSON encodes the schema as indented JSON.
@@ -14,7 +17,20 @@ func (s *Schema) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON decodes a schema from JSON, normalises it, and validates it.
+// "schema.load" (error/delay) and "schema.load.bytes" (payload corruption)
+// are fault-injection hook points (see internal/faultinject), exercising
+// the loader's validation under chaos tests.
 func ReadJSON(r io.Reader) (*Schema, error) {
+	if err := faultinject.Hit("schema.load"); err != nil {
+		return nil, fmt.Errorf("schema: read: %w", err)
+	}
+	if faultinject.Armed() {
+		b, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("schema: read: %w", err)
+		}
+		r = bytes.NewReader(faultinject.Corrupt("schema.load.bytes", b))
+	}
 	var s Schema
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("schema: decode: %w", err)
