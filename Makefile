@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzz-smoke chaos ci bench bench-parallel
+.PHONY: all build test race vet fmt fuzz-smoke chaos ci bench bench-parallel bench-json bench-diff lintobs cover
 
 all: build
 
@@ -49,3 +49,35 @@ bench:
 # multicore host to observe real speedup.
 bench-parallel:
 	$(GO) test -run xxx -bench 'Parallel(EncodeAll|MatchAll|Assess)' -cpu 1,4 .
+
+# bench-json times the evaluation tables (reduced -fast settings, matching
+# the committed baseline) and writes the machine-readable report, including
+# a machine-speed calibration entry, to BENCH_OUT.
+BENCH_OUT ?= /tmp/BENCH_tables.json
+bench-json:
+	$(GO) run ./cmd/benchtables -fast -benchjson $(BENCH_OUT)
+
+# bench-diff gates performance regressions: a fresh bench-json run must not
+# be more than 25% slower (calibration-normalised) than the committed
+# baseline. Refresh the baseline with:
+#	make bench-json BENCH_OUT=BENCH_tables.json
+bench-diff: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_tables.json -current $(BENCH_OUT)
+
+# lintobs enforces the repo's timing discipline: time.Now belongs to
+# internal/obs (Stopwatch) so hot paths stay instrumentable and the
+# disabled path stays zero-cost.
+lintobs:
+	$(GO) run ./cmd/lintobs ./...
+
+# cover enforces the ratcheted coverage floor: the floor only moves up as
+# total coverage grows (raise it here and in .github/workflows/ci.yml).
+COVER_MIN ?= 75.0
+cover:
+	$(GO) test -coverprofile=/tmp/cover.out ./...
+	$(GO) tool cover -func=/tmp/cover.out | tail -1
+	@total=$$($(GO) tool cover -func=/tmp/cover.out | tail -1 | grep -o '[0-9.]*%' | tr -d '%'); \
+	ok=$$(awk -v t=$$total -v m=$(COVER_MIN) 'BEGIN{print (t>=m)?"yes":"no"}'); \
+	if [ "$$ok" != "yes" ]; then \
+		echo "coverage $$total% is below the ratcheted minimum $(COVER_MIN)%"; exit 1; \
+	else echo "coverage $$total% >= $(COVER_MIN)% (ratchet: raise COVER_MIN in .github/workflows/ci.yml when it grows)"; fi

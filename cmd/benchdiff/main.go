@@ -1,0 +1,153 @@
+// Command benchdiff gates performance regressions: it compares a fresh
+// benchmark report (benchtables -benchjson) against the committed baseline
+// and fails when any table slowed down beyond the threshold.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_tables.json -current /tmp/bench.json
+//	benchdiff -threshold 0.25 ...
+//
+// Raw wall times are not comparable across machines, so every entry is
+// normalised by the reports' _calibration entries — a fixed CPU-bound probe
+// both runs execute — before the threshold applies. A slower CI runner
+// scales both the probe and the tables; only a genuine per-table slowdown
+// survives the normalisation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collabscope/internal/experiments"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_tables.json", "committed baseline report")
+		currentPath  = flag.String("current", "", "fresh report to gate (required)")
+		threshold    = flag.Float64("threshold", 0.25, "maximum tolerated normalised slowdown (0.25 = +25%)")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline := readReport(*baselinePath)
+	current := readReport(*currentPath)
+
+	rows, regressions, err := diff(baseline, current, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-22s %12s %12s %10s %8s\n", "benchmark", "baseline", "current*", "change", "gate")
+	for _, row := range rows {
+		fmt.Printf("%-22s %12s %12s %+9.1f%% %8s\n",
+			row.Name, fmtNS(row.BaselineNS), fmtNS(row.NormalizedNS), 100*row.Change, row.Gate)
+	}
+	fmt.Printf("(*current normalised by calibration ratio %.3f; threshold +%.0f%%)\n",
+		current.calibration()/baseline.calibration(), 100**threshold)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d benchmark(s) regressed beyond +%.0f%%: %v\n",
+			len(regressions), 100**threshold, regressions)
+		fmt.Fprintln(os.Stderr, "If the slowdown is intended (e.g. a table now does more work),")
+		fmt.Fprintln(os.Stderr, "refresh the baseline and commit it:")
+		fmt.Fprintln(os.Stderr, "\tmake bench-json && cp /tmp/BENCH_tables.json BENCH_tables.json")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+type report struct{ *experiments.BenchReport }
+
+func (r report) calibration() float64 {
+	e, _ := r.Entry(experiments.CalibrationName)
+	return float64(e.WallNS)
+}
+
+func readReport(path string) report {
+	fh, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	rep, err := experiments.ReadBenchJSON(fh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return report{rep}
+}
+
+// diffRow is one benchmark's verdict.
+type diffRow struct {
+	Name         string
+	BaselineNS   int64
+	NormalizedNS int64
+	Change       float64
+	Gate         string
+}
+
+// diff compares current against baseline: each current entry is divided by
+// the calibration ratio (current machine speed / baseline machine speed),
+// then gated at threshold. It returns every comparable row plus the names
+// that regressed. Entries present on only one side are reported but never
+// gate — a renamed or new benchmark must not fail the build that adds it.
+func diff(baseline, current report, threshold float64) ([]diffRow, []string, error) {
+	if baseline.Config != current.Config {
+		return nil, nil, fmt.Errorf("config mismatch: baseline %q vs current %q (regenerate the baseline with the same settings)",
+			baseline.Config, current.Config)
+	}
+	calBase, calCur := baseline.calibration(), current.calibration()
+	if calBase <= 0 || calCur <= 0 {
+		return nil, nil, fmt.Errorf("non-positive calibration time (baseline %v, current %v)", calBase, calCur)
+	}
+	ratio := calCur / calBase
+
+	var rows []diffRow
+	var regressions []string
+	for _, be := range baseline.Entries {
+		if be.Name == experiments.CalibrationName {
+			continue
+		}
+		ce, ok := current.Entry(be.Name)
+		if !ok {
+			rows = append(rows, diffRow{Name: be.Name, BaselineNS: be.WallNS, Gate: "missing"})
+			continue
+		}
+		norm := int64(float64(ce.WallNS) / ratio)
+		change := float64(norm)/float64(be.WallNS) - 1
+		gate := "ok"
+		if change > threshold {
+			gate = "FAIL"
+			regressions = append(regressions, be.Name)
+		}
+		rows = append(rows, diffRow{Name: be.Name, BaselineNS: be.WallNS, NormalizedNS: norm, Change: change, Gate: gate})
+	}
+	for _, ce := range current.Entries {
+		if ce.Name == experiments.CalibrationName {
+			continue
+		}
+		if _, ok := baseline.Entry(ce.Name); !ok {
+			rows = append(rows, diffRow{Name: ce.Name, NormalizedNS: int64(float64(ce.WallNS) / ratio), Gate: "new"})
+		}
+	}
+	return rows, regressions, nil
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns == 0:
+		return "-"
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"testing"
+
+	"collabscope/internal/experiments"
+)
+
+func syntheticReport(scale float64, calNS int64) report {
+	mk := func(name string, ns int64) experiments.BenchEntry {
+		return experiments.BenchEntry{Name: name, WallNS: int64(float64(ns) * scale)}
+	}
+	return report{&experiments.BenchReport{
+		Version: experiments.BenchVersion,
+		Config:  "dim=192 psteps=25 vgrid=11 ae=2x15 seed=1",
+		Entries: []experiments.BenchEntry{
+			{Name: experiments.CalibrationName, WallNS: calNS},
+			mk("encode", 800_000_000),
+			mk("table4_oc3", 1_500_000_000),
+			mk("collab_curves_oc3", 900_000_000),
+		},
+	}}
+}
+
+// TestDiffFailsOnSyntheticSlowdown is the gate's self-test: a current
+// report with every table 2× slower (same machine speed) must fail the 25%
+// threshold on every entry.
+func TestDiffFailsOnSyntheticSlowdown(t *testing.T) {
+	baseline := syntheticReport(1, 100_000_000)
+	slow := syntheticReport(2, 100_000_000)
+	rows, regressions, err := diff(baseline, slow, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 3 {
+		t.Fatalf("regressions = %v, want all 3 benchmarks", regressions)
+	}
+	for _, row := range rows {
+		if row.Gate != "FAIL" {
+			t.Errorf("%s: gate %q, want FAIL (change %.2f)", row.Name, row.Gate, row.Change)
+		}
+		if row.Change < 0.9 || row.Change > 1.1 {
+			t.Errorf("%s: change %.2f, want ≈ 1.0 (2× slowdown)", row.Name, row.Change)
+		}
+	}
+}
+
+// TestDiffNormalizesMachineSpeed: the same workload on a uniformly 2×
+// slower machine (calibration slows down too) must pass — the gate fires on
+// per-table regressions, not on runner speed.
+func TestDiffNormalizesMachineSpeed(t *testing.T) {
+	baseline := syntheticReport(1, 100_000_000)
+	slowMachine := syntheticReport(2, 200_000_000)
+	_, regressions, err := diff(baseline, slowMachine, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("uniformly slower machine flagged as regression: %v", regressions)
+	}
+}
+
+// TestDiffWithinThresholdPasses: a 10% slowdown stays under the 25% gate.
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	baseline := syntheticReport(1, 100_000_000)
+	slightly := syntheticReport(1.1, 100_000_000)
+	rows, regressions, err := diff(baseline, slightly, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("10%% slowdown flagged: %v", regressions)
+	}
+	for _, row := range rows {
+		if row.Gate != "ok" {
+			t.Errorf("%s: gate %q, want ok", row.Name, row.Gate)
+		}
+	}
+}
+
+// TestDiffConfigMismatch: comparing reports from different benchmark
+// configurations must be an error, not a silent bogus comparison.
+func TestDiffConfigMismatch(t *testing.T) {
+	baseline := syntheticReport(1, 100_000_000)
+	other := syntheticReport(1, 100_000_000)
+	other.Config = "dim=768 psteps=50 vgrid=21 ae=5x30 seed=1"
+	if _, _, err := diff(baseline, other, 0.25); err == nil {
+		t.Fatal("expected config-mismatch error")
+	}
+}
+
+// TestDiffNewAndMissingEntriesDoNotGate: renamed benchmarks report as
+// missing/new but never fail the build.
+func TestDiffNewAndMissingEntriesDoNotGate(t *testing.T) {
+	baseline := syntheticReport(1, 100_000_000)
+	current := syntheticReport(1, 100_000_000)
+	current.Entries[1].Name = "encode_renamed"
+	rows, regressions, err := diff(baseline, current, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("rename flagged as regression: %v", regressions)
+	}
+	var sawMissing, sawNew bool
+	for _, row := range rows {
+		if row.Name == "encode" && row.Gate == "missing" {
+			sawMissing = true
+		}
+		if row.Name == "encode_renamed" && row.Gate == "new" {
+			sawNew = true
+		}
+	}
+	if !sawMissing || !sawNew {
+		t.Fatalf("missing=%v new=%v, want both reported", sawMissing, sawNew)
+	}
+}

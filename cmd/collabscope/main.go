@@ -4,11 +4,12 @@
 // Usage:
 //
 //	collabscope stats  s1.sql s2.sql ...
+//	collabscope stats  -metrics http://host:8080/metrics
 //	collabscope scope  -v 0.8 [-out dir] s1.sql s2.json ...
 //	collabscope scope  -method global -detector pca:0.5 -p 0.7 s1.sql s2.sql
 //	collabscope match  -matcher lsh:5 [-scope 0.8] s1.sql s2.sql ...
 //	collabscope eval   -truth links.json -matcher sim:0.6 -v 0.8 s1.sql s2.sql
-//	collabscope serve  -addr 127.0.0.1:8080 -v 0.8 s1.sql
+//	collabscope serve  -addr 127.0.0.1:8080 -v 0.8 [-pprof] s1.sql
 //	collabscope fetch  -peers http://host1:8080,http://host2:8080 [-out dir]
 //	collabscope assess -peers http://host1:8080 s1.sql
 //
@@ -25,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -71,11 +73,13 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	v := fs.Float64("v", 0.8, "global explained variance")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim, *workers)
+	reg := collabscope.NewMetrics()
+	pipe := newPipeline(*dim, *workers, collabscope.WithMetrics(reg))
 	var models []*collabscope.Model
 	for _, s := range schemas {
 		m, err := pipe.TrainModel(s, *v)
@@ -86,9 +90,18 @@ func runServe(args []string) {
 	}
 	handler, err := collabscope.NewModelServer(models...)
 	fatal(err)
+	handler.SetMetrics(reg)
+	if *pprofFlag {
+		handler.EnablePprof()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	fatal(err)
 	fmt.Printf("serving %d model(s) at http://%s/models\n", len(models), ln.Addr())
+	fmt.Printf("metrics snapshot at http://%s/metrics (view with `collabscope stats -metrics http://%s/metrics`)\n",
+		ln.Addr(), ln.Addr())
+	if *pprofFlag {
+		fmt.Printf("pprof enabled at http://%s/debug/pprof/\n", ln.Addr())
+	}
 	fatal(http.Serve(ln, handler))
 }
 
@@ -306,12 +319,41 @@ func loadSchemas(paths []string) []*collabscope.Schema {
 
 func runStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	metricsSrc := fs.String("metrics", "",
+		"print a metrics snapshot instead of schema stats: a hub's /metrics URL or a snapshot JSON file")
 	fs.Parse(args)
+	if *metricsSrc != "" {
+		printMetrics(*metricsSrc)
+		return
+	}
 	schemas := loadSchemas(fs.Args())
 	fmt.Printf("%-20s %7s %11s %9s\n", "Schema", "Tables", "Attributes", "Elements")
 	for _, s := range schemas {
 		fmt.Printf("%-20s %7d %11d %9d\n", s.Name, s.NumTables(), s.NumAttributes(), s.NumElements())
 	}
+}
+
+// printMetrics renders a metrics snapshot fetched from a running hub's
+// /metrics endpoint (http:// or https:// source) or read from a JSON file.
+func printMetrics(src string) {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		fatal(err)
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			fatalf("GET %s: status %d (is the hub running with metrics enabled?)", src, resp.StatusCode)
+		}
+		r = resp.Body
+	} else {
+		fh, err := os.Open(src)
+		fatal(err)
+		r = fh
+	}
+	defer r.Close()
+	snap, err := collabscope.ReadMetricsSnapshotJSON(r)
+	fatal(err)
+	snap.Fprint(os.Stdout)
 }
 
 func runScope(args []string) {
@@ -426,7 +468,7 @@ func pipelineFlags(fs *flag.FlagSet) (dim, workers *int) {
 	return dim, workers
 }
 
-func newPipeline(dim, workers int) *collabscope.Pipeline {
+func newPipeline(dim, workers int, extra ...collabscope.Option) *collabscope.Pipeline {
 	var opts []collabscope.Option
 	if dim > 0 {
 		opts = append(opts, collabscope.WithDimension(dim))
@@ -434,7 +476,7 @@ func newPipeline(dim, workers int) *collabscope.Pipeline {
 	if workers > 0 {
 		opts = append(opts, collabscope.WithParallelism(workers))
 	}
-	return collabscope.New(opts...)
+	return collabscope.New(append(opts, extra...)...)
 }
 
 // parseDetector and parseMatcher resolve "name:param" specs through the

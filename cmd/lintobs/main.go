@@ -1,0 +1,131 @@
+// Command lintobs enforces the repository's timing discipline: time.Now
+// belongs to internal/obs. Hot paths measure durations through
+// obs.Stopwatch / obs.Registry.Clock, which keeps latency observable via
+// WithMetrics and keeps the disabled path zero-cost; a stray time.Now in a
+// loop is invisible to both.
+//
+// Usage:
+//
+//	lintobs ./...
+//	lintobs ./internal/parallel ./internal/core
+//
+// Scans non-test Go files under the given roots, skipping internal/obs
+// itself. A deliberate wall-clock use is waived with a trailing
+// "// lintobs:allow <reason>" comment on the offending line.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	var offenders []string
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			if strings.Contains(filepath.ToSlash(path), "internal/obs/") {
+				return nil
+			}
+			found, err := scanFile(path)
+			if err != nil {
+				return err
+			}
+			offenders = append(offenders, found...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintobs:", err)
+			os.Exit(1)
+		}
+	}
+	if len(offenders) > 0 {
+		fmt.Fprintln(os.Stderr, "lintobs: time.Now outside internal/obs — use obs.NewStopwatch / obs.Registry.Clock,")
+		fmt.Fprintln(os.Stderr, "lintobs: or waive a deliberate wall-clock use with `// lintobs:allow <reason>`:")
+		for _, o := range offenders {
+			fmt.Fprintln(os.Stderr, "\t"+o)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("lintobs: clean")
+}
+
+// scanFile returns one "<path>:<line>" per unwaived time.Now call.
+func scanFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the local name of the "time" import ("time" unless renamed).
+	timeName := ""
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "time" {
+			continue
+		}
+		timeName = "time"
+		if imp.Name != nil {
+			timeName = imp.Name.Name
+		}
+	}
+	if timeName == "" || timeName == "_" {
+		return nil, nil
+	}
+	// Waived lines carry a lintobs:allow comment.
+	waived := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "lintobs:allow") {
+				waived[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	var offenders []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || ident.Name != timeName {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if !waived[pos.Line] {
+			offenders = append(offenders, fmt.Sprintf("%s:%d", pos.Filename, pos.Line))
+		}
+		return true
+	})
+	return offenders, nil
+}

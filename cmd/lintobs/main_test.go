@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScanFlagsBareTimeNow(t *testing.T) {
+	path := write(t, "hot.go", `package p
+
+import "time"
+
+func f() time.Time { return time.Now() }
+`)
+	offenders, err := scanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 1 {
+		t.Fatalf("offenders = %v, want exactly one", offenders)
+	}
+}
+
+func TestScanHonoursWaiver(t *testing.T) {
+	path := write(t, "waived.go", `package p
+
+import "time"
+
+func f() time.Time { return time.Now() } // lintobs:allow deadline polling, not latency
+`)
+	offenders, err := scanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("waived line still flagged: %v", offenders)
+	}
+}
+
+func TestScanResolvesRenamedImport(t *testing.T) {
+	path := write(t, "renamed.go", `package p
+
+import clock "time"
+
+func f() clock.Time { return clock.Now() }
+`)
+	offenders, err := scanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 1 {
+		t.Fatalf("renamed import not flagged: %v", offenders)
+	}
+}
+
+func TestScanIgnoresOtherNow(t *testing.T) {
+	path := write(t, "other.go", `package p
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func f() int {
+	var time fakeClock
+	return time.Now()
+}
+`)
+	// A local identifier named "time" without the time import must not trip
+	// the scan (the file imports nothing).
+	offenders, err := scanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("non-time Now flagged: %v", offenders)
+	}
+}
+
+// TestRepoIsClean runs the scan over the whole repository — the same gate
+// CI runs — so a time.Now regression fails here first.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	var offenders []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		if filepath.Ext(path) != ".go" || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if strings.Contains(filepath.ToSlash(path), "internal/obs/") {
+			return nil
+		}
+		found, err := scanFile(path)
+		if err != nil {
+			return err
+		}
+		offenders = append(offenders, found...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("time.Now outside internal/obs: %v", offenders)
+	}
+}

@@ -7,13 +7,16 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 
 	"collabscope/internal/core"
 	"collabscope/internal/datasets"
 	"collabscope/internal/embed"
+	"collabscope/internal/exchange"
 	"collabscope/internal/integrate"
 	"collabscope/internal/linalg"
 	"collabscope/internal/match"
+	"collabscope/internal/obs"
 	"collabscope/internal/outlier"
 	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
@@ -156,10 +159,17 @@ type Pipeline struct {
 	enc     embed.Encoder
 	workers int
 
+	// Observability (see WithMetrics / WithTraceLog). Both nil by default:
+	// instrumentation is zero-cost when disabled.
+	reg   *obs.Registry
+	trace *obs.TraceLog
+
 	// Remote-exchange configuration (see remote.go).
 	httpClient *http.Client
 	retry      RetryPolicy
 	hasRetry   bool
+	exchOnce   sync.Once
+	exch       *exchange.Client
 }
 
 // Option configures a Pipeline.
@@ -189,6 +199,60 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// Metrics is a set of named instruments — atomic counters, gauges, and
+// fixed-bucket latency histograms — that every instrumented layer reports
+// into: pipeline stage spans, the worker pool, and the model-exchange
+// client and server. Create one with NewMetrics, attach it with
+// WithMetrics, and read it back with Pipeline.Metrics().Snapshot().
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry. It
+// marshals to JSON (the /metrics wire format of model hubs) and
+// pretty-prints with Fprint — what `collabscope stats -metrics` shows.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// ReadMetricsSnapshotJSON decodes a snapshot produced by
+// MetricsSnapshot.WriteJSON or served by a hub's /metrics endpoint.
+func ReadMetricsSnapshotJSON(r io.Reader) (MetricsSnapshot, error) {
+	return obs.ReadSnapshotJSON(r)
+}
+
+// WithMetrics attaches a metrics registry to the pipeline. Every stage then
+// records spans ("span.pipeline.scope", "span.core.assess", …), the worker
+// pool its queue-wait/task latencies and panic count, and the remote
+// exchange its per-peer request latencies, retries, and 304 cache hits.
+// WithMetrics(nil) — the default — disables instrumentation entirely; the
+// disabled path is a nil check that allocates nothing (pinned by
+// TestDisabledPathAllocations and the obs benchmarks).
+func WithMetrics(m *Metrics) Option {
+	return func(p *Pipeline) { p.reg = m }
+}
+
+// WithTraceLog streams one JSON line per completed pipeline span to w
+// (element counts included), nested spans carrying their depth. A nil
+// writer disables tracing. Tracing works with or without WithMetrics.
+func WithTraceLog(w io.Writer) Option {
+	return func(p *Pipeline) { p.trace = obs.NewTraceLog(w) }
+}
+
+// Metrics returns the registry attached with WithMetrics (nil when
+// instrumentation is disabled; a nil registry is safe to Snapshot).
+func (p *Pipeline) Metrics() *Metrics { return p.reg }
+
+// obsContext arms the context with the pipeline's registry and trace sink.
+// Without instrumentation the context passes through untouched, and a
+// context already carrying a scope (a nested pipeline call) keeps its span
+// chain.
+func (p *Pipeline) obsContext(ctx context.Context) context.Context {
+	if p.reg == nil && p.trace == nil {
+		return ctx
+	}
+	return obs.EnsureContext(ctx, p.reg, p.trace)
+}
+
 // New returns a pipeline with the default 768-dimensional encoder and
 // GOMAXPROCS-wide parallelism.
 func New(opts ...Option) *Pipeline {
@@ -213,7 +277,7 @@ func (p *Pipeline) Encode(s *Schema) *SignatureSet {
 
 // EncodeContext is Encode with cancellation.
 func (p *Pipeline) EncodeContext(ctx context.Context, s *Schema) (*SignatureSet, error) {
-	return embed.EncodeSchemaContext(ctx, p.workers, p.enc, s)
+	return embed.EncodeSchemaContext(p.obsContext(ctx), p.workers, p.enc, s)
 }
 
 // EncodeAll encodes each schema independently with the shared encoder.
@@ -224,7 +288,7 @@ func (p *Pipeline) EncodeAll(schemas []*Schema) []*SignatureSet {
 
 // EncodeAllContext is EncodeAll with cancellation.
 func (p *Pipeline) EncodeAllContext(ctx context.Context, schemas []*Schema) ([]*SignatureSet, error) {
-	return embed.EncodeSchemasContext(ctx, p.workers, p.enc, schemas)
+	return embed.EncodeSchemasContext(p.obsContext(ctx), p.workers, p.enc, schemas)
 }
 
 // ScopeResult is the outcome of a scoping run.
@@ -264,6 +328,9 @@ func (p *Pipeline) CollaborativeScope(schemas []*Schema, v float64) (*ScopeResul
 // encoding, per-schema training, and the distributed assessment all stop
 // promptly once ctx is done, returning ctx.Err().
 func (p *Pipeline) CollaborativeScopeContext(ctx context.Context, schemas []*Schema, v float64) (*ScopeResult, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.scope")
+	sp.Annotate("schemas", int64(len(schemas)))
+	defer sp.End()
 	sets, err := p.EncodeAllContext(ctx, schemas)
 	if err != nil {
 		return nil, err
@@ -290,6 +357,9 @@ func (p *Pipeline) SuggestVariance(schemas []*Schema, grid []float64) (float64, 
 // SuggestVarianceContext is SuggestVariance with cancellation; the grid
 // points fan out over the worker pool.
 func (p *Pipeline) SuggestVarianceContext(ctx context.Context, schemas []*Schema, grid []float64) (float64, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.sweep")
+	sp.Annotate("schemas", int64(len(schemas)))
+	defer sp.End()
 	sets, err := p.EncodeAllContext(ctx, schemas)
 	if err != nil {
 		return 0, err
@@ -324,10 +394,13 @@ func (p *Pipeline) TrainModel(s *Schema, v float64) (*Model, error) {
 
 // TrainModelContext is TrainModel with cancellation.
 func (p *Pipeline) TrainModelContext(ctx context.Context, s *Schema, v float64) (*Model, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.train")
+	defer sp.End()
 	set, err := p.EncodeContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
+	sp.Annotate("elements", int64(set.Len()))
 	return core.Train(set, v)
 }
 
@@ -341,6 +414,9 @@ func (p *Pipeline) Assess(s *Schema, foreign []*Model) map[ElementID]bool {
 // AssessContext is Assess with cancellation; the element-by-foreign-model
 // passes fan out over the worker pool.
 func (p *Pipeline) AssessContext(ctx context.Context, s *Schema, foreign []*Model) (map[ElementID]bool, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.assess")
+	sp.Annotate("models", int64(len(foreign)))
+	defer sp.End()
 	set, err := p.EncodeContext(ctx, s)
 	if err != nil {
 		return nil, err
@@ -362,6 +438,9 @@ func (p *Pipeline) GlobalScopeContext(ctx context.Context, schemas []*Schema, de
 	if det == nil {
 		return nil, fmt.Errorf("collabscope: nil detector")
 	}
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.globalscope")
+	sp.Annotate("schemas", int64(len(schemas)))
+	defer sp.End()
 	sets, err := p.EncodeAllContext(ctx, schemas)
 	if err != nil {
 		return nil, err
@@ -466,6 +545,9 @@ func (p *Pipeline) Match(m Matcher, schemas []*Schema) []Pair {
 // over the worker pool and the candidate union is folded in enumeration
 // order, so the pair set is identical for any parallelism setting.
 func (p *Pipeline) MatchContext(ctx context.Context, m Matcher, schemas []*Schema) ([]Pair, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.match")
+	sp.Annotate("schemas", int64(len(schemas)))
+	defer sp.End()
 	sets, err := p.EncodeAllContext(ctx, schemas)
 	if err != nil {
 		return nil, err

@@ -31,15 +31,18 @@ import (
 // party is one organisation: a schema, a shared pipeline configuration,
 // and an HTTP hub publishing the trained model.
 type party struct {
-	schema *collabscope.Schema
-	pipe   *collabscope.Pipeline
-	model  *collabscope.Model
-	srv    *http.Server
-	ln     net.Listener
+	schema  *collabscope.Schema
+	pipe    *collabscope.Pipeline
+	metrics *collabscope.Metrics
+	model   *collabscope.Model
+	srv     *http.Server
+	ln      net.Listener
 }
 
 func newParty(s *collabscope.Schema, variance float64) (*party, error) {
-	p := &party{schema: s, pipe: collabscope.New(
+	p := &party{metrics: collabscope.NewMetrics()}
+	p.schema = s
+	p.pipe = collabscope.New(
 		collabscope.WithDimension(384),
 		// Fail over quickly when a peer is gone: two attempts with a short
 		// per-request timeout instead of the 5 s production default.
@@ -49,7 +52,10 @@ func newParty(s *collabscope.Schema, variance float64) (*party, error) {
 			MaxDelay:    100 * time.Millisecond,
 			Timeout:     2 * time.Second,
 		}),
-	)}
+		// Instrument the whole pipeline: spans, worker pool, and the
+		// exchange client's per-peer latencies, retries, and ETag hits.
+		collabscope.WithMetrics(p.metrics),
+	)
 	var err error
 	p.model, err = p.pipe.TrainModel(s, variance)
 	if err != nil {
@@ -171,6 +177,23 @@ func main() {
 	}
 	if exitCode == 0 {
 		fmt.Println("\nall survivor verdicts match the dead-peer-excluded baseline; the dead peer was reported, not fatal")
+	}
+
+	// One party's metrics snapshot tells the whole story: round 1 fetched
+	// every peer fresh, round 2 revalidated the survivors' unchanged models
+	// (304 ETag hits — no body crossed the wire) and burned its retry
+	// budget on the dead hub. Per-peer request histograms name each hub.
+	watcher := survivors[0]
+	snap := watcher.metrics.Snapshot()
+	fmt.Printf("\n--- %s's exchange metrics ---\n", watcher.schema.Name)
+	watcher.metrics.Snapshot().Fprint(os.Stdout)
+	if snap.Counters["exchange.etag_hits"] == 0 {
+		fmt.Println("ERROR: round 2 should have revalidated unchanged models via 304")
+		exitCode = 1
+	}
+	if snap.Counters["exchange.retries"] == 0 {
+		fmt.Println("ERROR: the dead peer should have consumed retries")
+		exitCode = 1
 	}
 	os.Exit(exitCode)
 }

@@ -21,6 +21,7 @@ import (
 	"collabscope/internal/embed"
 	"collabscope/internal/linalg"
 	"collabscope/internal/metrics"
+	"collabscope/internal/obs"
 	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
@@ -231,6 +232,10 @@ func AssessWith(local *embed.SignatureSet, foreign []*Model, cfg AssessConfig) m
 // verdicts are folded sequentially in model order, so the result is
 // identical for any worker count.
 func AssessContext(ctx context.Context, workers int, local *embed.SignatureSet, foreign []*Model, cfg AssessConfig) (map[schema.ElementID]bool, error) {
+	ctx, sp := obs.Start(ctx, "core.assess")
+	sp.Annotate("elements", int64(local.Len()))
+	sp.Annotate("models", int64(len(foreign)))
+	defer sp.End()
 	errsByModel, err := parallel.Map(ctx, workers, foreign, func(_ int, m *Model) ([]float64, error) {
 		return m.Errors(local.Matrix), nil
 	})
@@ -291,6 +296,9 @@ func NewScoperContext(ctx context.Context, workers int, sets []*embed.SignatureS
 	if len(sets) < 2 {
 		return nil, fmt.Errorf("core: collaborative scoping needs ≥ 2 schemas, got %d", len(sets))
 	}
+	ctx, sp := obs.Start(ctx, "core.fit")
+	sp.Annotate("schemas", int64(len(sets)))
+	defer sp.End()
 	s := &Scoper{sets: sets, cfg: cfg, workers: workers}
 	dim := -1
 	for i, set := range sets {
@@ -374,6 +382,9 @@ func (s *Scoper) ModelsContext(ctx context.Context, v float64) ([]*Model, error)
 	if v <= 0 || v > 1 {
 		return nil, fmt.Errorf("core: explained variance %v outside (0, 1]", v)
 	}
+	ctx, sp := obs.Start(ctx, "core.train")
+	sp.Annotate("schemas", int64(len(s.sets)))
+	defer sp.End()
 	models := make([]*Model, len(s.sets))
 	err := parallel.ForEach(ctx, s.workers, len(s.sets), func(i int) error {
 		set := s.sets[i]
@@ -404,6 +415,9 @@ func (s *Scoper) Scope(v float64) (map[schema.ElementID]bool, error) {
 // over the Scoper's worker pool and the keep-set is folded in schema order,
 // so the result is identical for any worker count.
 func (s *Scoper) ScopeContext(ctx context.Context, v float64) (map[schema.ElementID]bool, error) {
+	ctx, sp := obs.Start(ctx, "core.scope")
+	sp.Annotate("schemas", int64(len(s.sets)))
+	defer sp.End()
 	models, err := s.ModelsContext(ctx, v)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"collabscope/internal/metrics"
+	"collabscope/internal/obs"
 	"collabscope/internal/schema"
 )
 
@@ -38,6 +39,10 @@ func (s *Scoper) SweepCheckpointed(labels map[schema.ElementID]bool, grid []floa
 // (dataset, signature dimensionality, assessment configuration), so stale
 // cells from a different configuration can never be mistaken for hits.
 func (s *Scoper) SweepCheckpointedContext(ctx context.Context, labels map[schema.ElementID]bool, grid []float64, store CellStore, prefix string) ([]metrics.SweepEntry, error) {
+	ctx, sp := obs.Start(ctx, "core.sweep")
+	sp.Annotate("grid", int64(len(grid)))
+	defer sp.End()
+	reg := obs.FromContext(ctx)
 	entries := make([]metrics.SweepEntry, 0, len(grid))
 	for _, v := range grid {
 		if v <= 0 {
@@ -56,7 +61,11 @@ func (s *Scoper) SweepCheckpointedContext(ctx context.Context, labels map[schema
 			}
 			hit = ok
 		}
+		if hit {
+			reg.Counter("core.sweep.checkpoint_hits").Inc()
+		}
 		if !hit {
+			reg.Counter("core.sweep.cells_computed").Inc()
 			c, err := s.sweepCell(ctx, v, labels)
 			if err != nil {
 				return nil, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"collabscope/internal/linalg"
+	"collabscope/internal/obs"
 	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
@@ -45,6 +46,9 @@ func EncodeSchemaWithSamples(enc Encoder, s *schema.Schema) *SignatureSet {
 }
 
 func encodeElements(ctx context.Context, workers int, enc Encoder, els []schema.Element) (*SignatureSet, error) {
+	ctx, sp := obs.Start(ctx, "embed.encode")
+	sp.Annotate("elements", int64(len(els)))
+	defer sp.End()
 	ids := make([]schema.ElementID, len(els))
 	m := linalg.NewDense(len(els), enc.Dim())
 	err := parallel.ForEach(ctx, workers, len(els), func(i int) error {

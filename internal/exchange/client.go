@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"collabscope/internal/core"
 	"collabscope/internal/faultinject"
+	"collabscope/internal/obs"
 	"collabscope/internal/parallel"
 )
 
@@ -77,7 +79,12 @@ func (e PeerError) Error() string { return e.Peer + ": " + e.Err.Error() }
 // Unwrap exposes the underlying failure to errors.Is/As.
 func (e PeerError) Unwrap() error { return e.Err }
 
-// Client fetches models from exchange hubs.
+// Client fetches models from exchange hubs. It keeps a per-URL ETag cache:
+// a refetch of an unchanged model revalidates with If-None-Match, and the
+// hub's 304 Not Modified answer serves the cached model without a body
+// transfer. Cache hits are first-class in the metrics ("exchange.etag_hits"
+// and per-peer variants) and are never counted as fresh fetches or fed into
+// the retry bookkeeping.
 type Client struct {
 	hc     *http.Client
 	policy RetryPolicy
@@ -88,6 +95,19 @@ type Client struct {
 	// inject, when set, scopes fault injection to this client instance
 	// (taking precedence over any globally armed injector).
 	inject *faultinject.Injector
+	// reg, when set, receives the client's metrics. A nil registry is the
+	// disabled no-op path.
+	reg *obs.Registry
+
+	// cache maps model URL → the last validated model and its ETag.
+	cacheMu sync.Mutex
+	cache   map[string]cacheEntry
+}
+
+// cacheEntry is one validated model frozen under its content-hash ETag.
+type cacheEntry struct {
+	etag  string
+	model *core.Model
 }
 
 // ClientOption configures a Client.
@@ -126,6 +146,14 @@ func WithJitterRand(r *rand.Rand) ClientOption {
 // target one client without touching process-global state.
 func WithFaultInjector(in *faultinject.Injector) ClientOption {
 	return func(c *Client) { c.inject = in }
+}
+
+// WithMetrics attaches a metrics registry. The client then records request
+// latency ("exchange.request" and "exchange.peer.<host>.request"), retry
+// counts, ETag cache hits, fresh fetches, and failure counts. A nil
+// registry keeps instrumentation disabled.
+func WithMetrics(reg *obs.Registry) ClientOption {
+	return func(c *Client) { c.reg = reg }
 }
 
 // NewClient returns a fetching client with the default transport and retry
@@ -182,59 +210,100 @@ func retryable(err error) bool {
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
+// peerPrefix derives the per-peer metric-name prefix from a model URL:
+// "exchange.peer.<host>.". An unparseable URL yields "" (global-only
+// metrics), never an error — metric naming must not fail a fetch.
+func peerPrefix(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return ""
+	}
+	return "exchange.peer." + u.Host + "."
+}
+
+// count bumps the global counter name and, when peer != "", its per-peer
+// twin. All calls are no-ops on an uninstrumented client.
+func (c *Client) count(peer, name string) {
+	c.reg.Counter("exchange." + name).Inc()
+	if peer != "" {
+		c.reg.Counter(peer + name).Inc()
+	}
+}
+
 // get fetches a URL with per-attempt timeouts and capped exponential
-// backoff with jitter, returning the body and the response ETag.
-func (c *Client) get(ctx context.Context, rawURL string) (body []byte, etag string, err error) {
+// backoff with jitter, returning the body and the response ETag. A non-empty
+// inm is sent as If-None-Match; a 304 answer then returns notModified=true
+// with no body — a success, not a retryable failure, and never part of the
+// retry bookkeeping.
+func (c *Client) get(ctx context.Context, rawURL, inm string) (body []byte, etag string, notModified bool, err error) {
+	peer := ""
+	if c.reg != nil {
+		peer = peerPrefix(rawURL)
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			c.count(peer, "retries")
 			if serr := sleepContext(ctx, c.backoff(attempt)); serr != nil {
-				return nil, "", fmt.Errorf("giving up after %d attempts: %w (last error: %v)", attempt, serr, lastErr)
+				return nil, "", false, fmt.Errorf("giving up after %d attempts: %w (last error: %v)", attempt, serr, lastErr)
 			}
 		}
-		body, etag, lastErr = c.once(ctx, rawURL)
+		sw := c.reg.Clock()
+		body, etag, notModified, lastErr = c.once(ctx, rawURL, inm)
+		c.reg.Histogram("exchange.request").ObserveSince(sw)
+		if peer != "" {
+			c.reg.Histogram(peer + "request").ObserveSince(sw)
+		}
 		if lastErr == nil {
-			return body, etag, nil
+			return body, etag, notModified, nil
 		}
 		if ctx.Err() != nil || !retryable(lastErr) {
-			return nil, "", lastErr
+			c.count(peer, "request_failures")
+			return nil, "", false, lastErr
 		}
 	}
-	return nil, "", fmt.Errorf("after %d attempts: %w", c.policy.MaxAttempts, lastErr)
+	c.count(peer, "request_failures")
+	return nil, "", false, fmt.Errorf("after %d attempts: %w", c.policy.MaxAttempts, lastErr)
 }
 
 // once performs a single attempt under the policy's per-request timeout.
 // "exchange.client.request" (error/delay before the attempt) and
 // "exchange.client.body" (response corruption, caught downstream by the
 // wire format's hash trailer) are fault-injection hook points.
-func (c *Client) once(ctx context.Context, rawURL string) ([]byte, string, error) {
+func (c *Client) once(ctx context.Context, rawURL, inm string) ([]byte, string, bool, error) {
 	if err := c.hit("exchange.client.request"); err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	actx, cancel := context.WithTimeout(ctx, c.policy.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	req.Header.Set("Accept", "application/json")
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	defer resp.Body.Close()
+	if inm != "" && resp.StatusCode == http.StatusNotModified {
+		return nil, "", true, nil
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, "", &statusError{code: resp.StatusCode, body: string(snippet)}
+		return nil, "", false, &statusError{code: resp.StatusCode, body: string(snippet)}
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	if len(body) > maxResponseBody {
-		return nil, "", fmt.Errorf("response exceeds %d bytes", maxResponseBody)
+		return nil, "", false, fmt.Errorf("response exceeds %d bytes", maxResponseBody)
 	}
-	return c.corrupt("exchange.client.body", body), resp.Header.Get("ETag"), nil
+	return c.corrupt("exchange.client.body", body), resp.Header.Get("ETag"), false, nil
 }
 
 // backoff returns the jittered delay before retry number attempt (≥ 1):
@@ -268,21 +337,66 @@ func sleepContext(ctx context.Context, d time.Duration) error {
 // the serialize layer; if the server also sent a content-hash ETag, it is
 // cross-checked against the model's fingerprint, catching transport
 // corruption end to end.
+//
+// A model already fetched from the same URL is revalidated with
+// If-None-Match: the hub's 304 answer serves the cached model without a
+// body transfer, counted as "exchange.etag_hits" — distinct from
+// "exchange.fetches" — and invisible to the retry bookkeeping.
 func (c *Client) FetchModel(ctx context.Context, rawURL string) (*core.Model, error) {
-	body, etag, err := c.get(ctx, rawURL)
+	cached, haveCached := c.cacheGet(rawURL)
+	inm := ""
+	if haveCached {
+		inm = cached.etag
+	}
+	peer := ""
+	if c.reg != nil {
+		peer = peerPrefix(rawURL)
+	}
+	body, etag, notModified, err := c.get(ctx, rawURL, inm)
 	if err != nil {
 		return nil, err
 	}
+	if notModified {
+		c.count(peer, "etag_hits")
+		return cached.model, nil
+	}
 	m, err := core.ReadModelJSON(bytes.NewReader(body))
 	if err != nil {
+		c.count(peer, "model_invalid")
+		if strings.Contains(err.Error(), "checksum") {
+			c.count(peer, "checksum_failures")
+		}
 		return nil, err
 	}
 	if etag != "" {
 		if fp, ferr := m.Fingerprint(); ferr == nil && strings.Trim(strings.TrimPrefix(etag, "W/"), `"`) != fp {
+			c.count(peer, "checksum_failures")
 			return nil, fmt.Errorf("model ETag %s does not match content fingerprint %.12s…", etag, fp)
 		}
 	}
+	c.count(peer, "fetches")
+	if etag != "" {
+		c.cachePut(rawURL, cacheEntry{etag: etag, model: m})
+	}
 	return m, nil
+}
+
+// cacheGet returns the cached entry for a model URL, if any.
+func (c *Client) cacheGet(rawURL string) (cacheEntry, bool) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	e, ok := c.cache[rawURL]
+	return e, ok
+}
+
+// cachePut stores a validated model under its ETag.
+func (c *Client) cachePut(rawURL string, e cacheEntry) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil {
+		c.cache = make(map[string]cacheEntry)
+	}
+	c.cache[rawURL] = e
 }
 
 // FetchPeer lists one peer's published models and fetches them all. It
@@ -290,7 +404,7 @@ func (c *Client) FetchModel(ctx context.Context, rawURL string) (*core.Model, er
 // an error naming the models that failed (nil error means a full harvest).
 func (c *Client) FetchPeer(ctx context.Context, base string) ([]*core.Model, error) {
 	base = strings.TrimSuffix(base, "/")
-	body, _, err := c.get(ctx, base+"/models")
+	body, _, _, err := c.get(ctx, base+"/models", "")
 	if err != nil {
 		return nil, fmt.Errorf("list models: %w", err)
 	}

@@ -20,12 +20,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
 
 	"collabscope/internal/core"
 	"collabscope/internal/faultinject"
+	"collabscope/internal/obs"
 )
 
 // Listing is the body of GET /models: the wire version the hub speaks and
@@ -64,6 +66,37 @@ type Server struct {
 	// exchange.server.request and exchange.server.body), so chaos tests can
 	// make exactly one peer of a fleet misbehave.
 	inject *faultinject.Injector
+	// reg, when set, backs GET /metrics and the hub's request counters
+	// (server.requests, server.model_fetches, server.not_modified,
+	// server.not_found). Nil keeps both disabled: /metrics answers 404 and
+	// the counters are no-ops.
+	reg *obs.Registry
+	// pprofEnabled exposes net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints leak timing and heap internals, so a hub
+	// must opt in (e.g. `collabscope serve -pprof`).
+	pprofEnabled bool
+}
+
+// SetMetrics attaches (or, with nil, detaches) a metrics registry. The hub
+// then counts requests and serves a JSON snapshot of the registry — which
+// may be shared with the rest of the process — at GET /metrics.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	s.reg = reg
+	s.mu.Unlock()
+}
+
+// EnablePprof exposes the net/http/pprof handlers under /debug/pprof/.
+func (s *Server) EnablePprof() {
+	s.mu.Lock()
+	s.pprofEnabled = true
+	s.mu.Unlock()
+}
+
+func (s *Server) registry() *obs.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reg
 }
 
 // SetFaultInjector arms (or, with nil, disarms) an instance-scoped fault
@@ -147,14 +180,54 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	reg := s.registry()
+	reg.Counter("server.requests").Inc()
 	path := strings.TrimSuffix(r.URL.Path, "/")
 	switch {
 	case path == "/models":
 		s.serveListing(w, r)
 	case strings.HasPrefix(path, "/models/"):
 		s.serveModel(w, r, strings.TrimPrefix(path, "/models/"))
+	case path == "/metrics" && reg != nil:
+		s.serveMetrics(w, reg)
+	case strings.HasPrefix(r.URL.Path, "/debug/pprof/") && s.pprofActive():
+		servePprof(w, r)
 	default:
+		reg.Counter("server.not_found").Inc()
 		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) pprofActive() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pprofEnabled
+}
+
+// serveMetrics answers GET /metrics with an indented JSON snapshot of the
+// registry — the same format obs.ReadSnapshotJSON and `collabscope stats
+// -metrics` consume.
+func (s *Server) serveMetrics(w http.ResponseWriter, reg *obs.Registry) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := reg.Snapshot()
+	_ = snap.WriteJSON(w)
+}
+
+// servePprof dispatches to the net/http/pprof handlers. The index handler
+// itself routes /debug/pprof/<profile> for named profiles; the four
+// special handlers need explicit dispatch.
+func servePprof(w http.ResponseWriter, r *http.Request) {
+	switch strings.TrimPrefix(r.URL.Path, "/debug/pprof/") {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
 	}
 }
 
@@ -173,19 +246,23 @@ func (s *Server) serveListing(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveModel(w http.ResponseWriter, r *http.Request, name string) {
+	reg := s.registry()
 	s.mu.RLock()
 	p, ok := s.models[name]
 	s.mu.RUnlock()
 	if !ok {
+		reg.Counter("server.not_found").Inc()
 		http.Error(w, fmt.Sprintf("no model published for schema %q", name), http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", p.etag)
 	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, p.etag) {
+		reg.Counter("server.not_modified").Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	reg.Counter("server.model_fetches").Inc()
 	// "exchange.server.body" corrupts the served model bytes (on a copy —
 	// the published bytes are frozen and shared). The client's end-to-end
 	// checksum validation must catch the damage.

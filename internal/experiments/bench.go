@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"collabscope/internal/datasets"
+	"collabscope/internal/obs"
+	"collabscope/internal/outlier"
+)
+
+// BenchVersion is the wire version of the benchmark report format.
+const BenchVersion = 1
+
+// CalibrationName is the reserved entry holding the machine-speed probe.
+// benchdiff divides every other entry by the calibration ratio between two
+// reports, so a baseline recorded on a fast laptop still gates a slow CI
+// runner.
+const CalibrationName = "_calibration"
+
+// BenchReport is the machine-readable result of a benchmark run
+// (BENCH_tables.json): one wall-time entry per evaluation table plus the
+// calibration probe.
+type BenchReport struct {
+	Version int          `json:"version"`
+	Config  string       `json:"config"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// BenchEntry is the wall time of one benchmark.
+type BenchEntry struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// Entry returns the named entry.
+func (r *BenchReport) Entry(name string) (BenchEntry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return BenchEntry{}, false
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchJSON parses a benchmark report.
+func ReadBenchJSON(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("experiments: decode bench report: %w", err)
+	}
+	if rep.Version != BenchVersion {
+		return nil, fmt.Errorf("experiments: bench report version %d, this build speaks %d", rep.Version, BenchVersion)
+	}
+	if _, ok := rep.Entry(CalibrationName); !ok {
+		return nil, fmt.Errorf("experiments: bench report lacks the %s entry", CalibrationName)
+	}
+	return &rep, nil
+}
+
+// configLabel stamps the report with the settings its timings depend on, so
+// benchdiff refuses to compare a -fast run against a full-settings baseline.
+func configLabel(cfg Config) string {
+	return fmt.Sprintf("dim=%d psteps=%d vgrid=%d ae=%dx%d seed=%d",
+		cfg.Dim, cfg.PSteps, len(cfg.VGrid), cfg.AEModels, cfg.AEEpochs, cfg.Seed)
+}
+
+// calibrate runs a fixed, deterministic CPU-bound workload and returns its
+// wall time — a pure machine-speed probe with no dependence on the
+// benchmark configuration.
+func calibrate() BenchEntry {
+	sw := obs.NewStopwatch()
+	sum := 1.0
+	for i := 1; i <= 8_000_000; i++ {
+		sum += math.Sqrt(float64(i)) / sum
+	}
+	if sum < 0 { // keep the loop observable; never taken
+		panic("calibration underflow")
+	}
+	return BenchEntry{Name: CalibrationName, WallNS: int64(sw.Elapsed())}
+}
+
+// RunBench times the paper's evaluation tables on both datasets and returns
+// the report. Every timed stage is the same code path benchtables runs when
+// printing the corresponding table.
+func RunBench(cfg Config) (*BenchReport, error) {
+	rep := &BenchReport{Version: BenchVersion, Config: configLabel(cfg)}
+	rep.Entries = append(rep.Entries, calibrate())
+
+	timeStage := func(name string, f func() error) error {
+		sw := obs.NewStopwatch()
+		if err := f(); err != nil {
+			return fmt.Errorf("experiments: bench %s: %w", name, err)
+		}
+		rep.Entries = append(rep.Entries, BenchEntry{Name: name, WallNS: int64(sw.Elapsed())})
+		return nil
+	}
+
+	var oc3, ocfo *Encoded
+	if err := timeStage("encode", func() error {
+		oc3 = Encode(cfg, datasets.OC3())
+		ocfo = Encode(cfg, datasets.OC3FO())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, b := range []struct {
+		name string
+		f    func() error
+	}{
+		{"table4_oc3", func() error { _, err := Table4(cfg, oc3); return err }},
+		{"table4_oc3fo", func() error { _, err := Table4(cfg, ocfo); return err }},
+		{"figure3", func() error { Figure3(cfg, ocfo, 12); return nil }},
+		{"scoping_curves_oc3", func() error { ScopingCurves(cfg, oc3, outlier.PCA{Variance: 0.5}); return nil }},
+		{"collab_curves_oc3", func() error { _, err := CollaborativeCurves(cfg, oc3); return err }},
+		{"discussion", func() error {
+			for _, enc := range []*Encoded{oc3, ocfo} {
+				if _, err := Discuss(cfg, enc); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	} {
+		if err := timeStage(b.name, b.f); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}

@@ -6,6 +6,7 @@ import (
 	"collabscope/internal/core"
 	"collabscope/internal/embed"
 	"collabscope/internal/metrics"
+	"collabscope/internal/obs"
 	"collabscope/internal/outlier"
 	"collabscope/internal/scoping"
 	"collabscope/internal/synth"
@@ -60,7 +61,7 @@ func Scalability(cfg Config, ks []int, unrelated int, seed int64) ([]ScalePoint,
 			p.SumLocalSq += set.Len() * set.Len()
 		}
 
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		scoper, err := core.NewScoper(sets)
 		if err != nil {
 			return nil, err
@@ -68,12 +69,12 @@ func Scalability(cfg Config, ks []int, unrelated int, seed int64) ([]ScalePoint,
 		if _, err := scoper.Scope(0.8); err != nil {
 			return nil, err
 		}
-		p.CollabTime = time.Since(start)
+		p.CollabTime = sw.Elapsed()
 
 		det := outlier.PCA{Variance: 0.5}
-		start = time.Now()
+		sw = obs.NewStopwatch()
 		ranking := scoping.Rank(det, union)
-		p.GlobalTime = time.Since(start)
+		p.GlobalTime = sw.Elapsed()
 
 		// Quality: AUC-PR of each approach.
 		sum, err := scoper.Evaluate(labels, cfg.VGrid, cfg.ROCLambda)

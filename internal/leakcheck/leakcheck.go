@@ -37,10 +37,11 @@ func Guard(t testing.TB) {
 // settle polls the goroutine count until it is back at or below the
 // baseline or the settle timeout elapses, returning the final count.
 func settle(baseline int) int {
-	deadline := time.Now().Add(settleTimeout)
+	deadline := time.Now().Add(settleTimeout) // lintobs:allow test-support deadline, not a latency measurement
 	for {
 		now := runtime.NumGoroutine()
-		if now <= baseline || time.Now().After(deadline) {
+		if now <= baseline || time.Now().After(deadline) { // lintobs:allow test-support deadline
+
 			return now
 		}
 		time.Sleep(5 * time.Millisecond)

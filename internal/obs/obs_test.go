@@ -1,0 +1,310 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"collabscope/internal/leakcheck"
+	"collabscope/internal/obs"
+	"collabscope/internal/parallel"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h")
+	durations := []time.Duration{
+		500 * time.Nanosecond, // rounds up into the 1µs bucket
+		time.Microsecond,
+		3 * time.Microsecond,
+		40 * time.Microsecond,
+		2 * time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	snap := r.Snapshot().Histograms["h"]
+	if snap.Count != int64(len(durations)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(durations))
+	}
+	var sum time.Duration
+	for _, d := range durations {
+		sum += d
+	}
+	if snap.SumNS != int64(sum) {
+		t.Fatalf("sum = %d, want %d", snap.SumNS, int64(sum))
+	}
+	if snap.MinNS != int64(500*time.Nanosecond) || snap.MaxNS != int64(2*time.Millisecond) {
+		t.Fatalf("min/max = %d/%d, want %d/%d",
+			snap.MinNS, snap.MaxNS, int64(500*time.Nanosecond), int64(2*time.Millisecond))
+	}
+	var bucketTotal int64
+	for i, b := range snap.Buckets {
+		bucketTotal += b.Count
+		if i > 0 && b.UpperNS <= snap.Buckets[i-1].UpperNS {
+			t.Fatalf("bucket bounds not ascending: %+v", snap.Buckets)
+		}
+	}
+	if bucketTotal != snap.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, snap.Count)
+	}
+	// Quantiles are bucket upper bounds clamped to the exact max.
+	if q := snap.Quantile(1.0); q != snap.MaxNS {
+		t.Fatalf("p100 = %d, want max %d", q, snap.MaxNS)
+	}
+	if q := snap.Quantile(0.5); q < int64(time.Microsecond) || q > int64(4*time.Microsecond) {
+		t.Fatalf("p50 = %d, outside the plausible [1µs, 4µs] bucket range", q)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-2)
+	r.Histogram("h").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadSnapshotJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["a"] != 3 || got.Gauges["b"] != -2 || got.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	var pretty bytes.Buffer
+	got.Fprint(&pretty)
+	for _, want := range []string{"counters:", "gauges:", "histograms:", "a", "h"} {
+		if !strings.Contains(pretty.String(), want) {
+			t.Fatalf("pretty print missing %q:\n%s", want, pretty.String())
+		}
+	}
+}
+
+func TestSpansNestAcrossGoroutines(t *testing.T) {
+	leakcheck.Guard(t)
+	r := obs.NewRegistry()
+	var buf bytes.Buffer
+	trace := obs.NewTraceLog(&buf)
+	ctx := obs.NewContext(context.Background(), r, trace)
+
+	ctx, root := obs.Start(ctx, "root")
+	root.Annotate("elements", 7)
+	err := parallel.ForEach(ctx, 4, 8, func(i int) error {
+		_, child := obs.Start(ctx, "child")
+		child.Annotate("item", int64(i))
+		child.End()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	snap := r.Snapshot()
+	if got := snap.Histograms["span.child"].Count; got != 8 {
+		t.Fatalf("span.child count = %d, want 8", got)
+	}
+	if got := snap.Histograms["span.root"].Count; got != 1 {
+		t.Fatalf("span.root count = %d, want 1", got)
+	}
+
+	// Every trace line is standalone valid JSON; children carry depth 1.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("trace lines = %d, want 9:\n%s", len(lines), buf.String())
+	}
+	childDepths := 0
+	for _, line := range lines {
+		var ev struct {
+			Span  string `json:"span"`
+			Depth int    `json:"depth"`
+			US    *int64 `json:"us"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line is not JSON: %q: %v", line, err)
+		}
+		if ev.US == nil {
+			t.Fatalf("trace line missing us: %q", line)
+		}
+		if ev.Span == "child" {
+			if ev.Depth != 1 {
+				t.Fatalf("child depth = %d, want 1: %q", ev.Depth, line)
+			}
+			childDepths++
+		}
+	}
+	if childDepths != 8 {
+		t.Fatalf("child events = %d, want 8", childDepths)
+	}
+}
+
+func TestEnsureContextPreservesScope(t *testing.T) {
+	r := obs.NewRegistry()
+	ctx := obs.NewContext(context.Background(), r, nil)
+	ctx, sp := obs.Start(ctx, "outer")
+	defer sp.End()
+	// Re-entry through a nested pipeline method must not sever the chain.
+	ctx2 := obs.EnsureContext(ctx, obs.NewRegistry(), nil)
+	if ctx2 != ctx {
+		t.Fatal("EnsureContext replaced an existing scope")
+	}
+	if obs.FromContext(ctx2) != r {
+		t.Fatal("registry changed through EnsureContext")
+	}
+}
+
+// TestDisabledPathAllocations pins the zero-cost contract: on an
+// uninstrumented context, spans, counters, histograms, and stopwatches
+// allocate nothing (the acceptance criterion of the PR-4 observability
+// layer, enforced — not just benchmarked).
+func TestDisabledPathAllocations(t *testing.T) {
+	ctx := context.Background()
+	var nilReg *obs.Registry
+
+	if n := testing.AllocsPerRun(200, func() {
+		sctx, sp := obs.Start(ctx, "stage")
+		sp.Annotate("elements", 1)
+		sp.End()
+		_ = sctx
+	}); n != 0 {
+		t.Fatalf("disabled span: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		nilReg.Counter("c").Inc()
+		nilReg.Gauge("g").Set(1)
+		sw := nilReg.Clock()
+		nilReg.Histogram("h").ObserveSince(sw)
+	}); n != 0 {
+		t.Fatalf("disabled registry instruments: %v allocs/op, want 0", n)
+	}
+	if reg := obs.FromContext(ctx); reg != nil {
+		t.Fatal("FromContext on a bare context should be nil")
+	}
+}
+
+// TestRaceSafetyUnderWorkerPool hammers one registry, one trace log, and
+// one span tree from the PR-1 worker pool at several parallelism levels —
+// the instrumentation contract is "share freely across goroutines". The
+// interesting assertions run under `go test -race`.
+func TestRaceSafetyUnderWorkerPool(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(map[int]string{1: "sequential", 4: "four", 16: "sixteen"}[workers], func(t *testing.T) {
+			leakcheck.Guard(t)
+			r := obs.NewRegistry()
+			var buf bytes.Buffer
+			ctx := obs.NewContext(context.Background(), r, obs.NewTraceLog(&buf))
+			ctx, root := obs.Start(ctx, "round")
+
+			const items = 256
+			err := parallel.ForEach(ctx, workers, items, func(i int) error {
+				_, sp := obs.Start(ctx, "item")
+				r.Counter("items").Inc()
+				r.Gauge("last").Set(int64(i))
+				sw := r.Clock()
+				r.Histogram("work").ObserveSince(sw)
+				sp.End()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			root.End()
+
+			snap := r.Snapshot()
+			if got := snap.Counters["items"]; got != items {
+				t.Fatalf("items = %d, want %d", got, items)
+			}
+			if got := snap.Histograms["work"].Count; got != items {
+				t.Fatalf("work observations = %d, want %d", got, items)
+			}
+			if got := snap.Histograms["span.item"].Count; got != items {
+				t.Fatalf("span.item = %d, want %d", got, items)
+			}
+		})
+	}
+}
+
+// TestConcurrentSnapshotWhileObserving snapshots while observers run — the
+// /metrics endpoint's read path against live traffic.
+func TestConcurrentSnapshotWhileObserving(t *testing.T) {
+	leakcheck.Guard(t)
+	r := obs.NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Counter("hits").Inc()
+					r.Histogram("lat").Observe(time.Microsecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		if snap.Counters["hits"] < 0 {
+			t.Fatal("negative counter in snapshot")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "stage")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	ctx := obs.NewContext(context.Background(), obs.NewRegistry(), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "stage")
+		sp.End()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// scopeKey keys the instrumentation scope in a context.
+type scopeKey struct{}
+
+// scope is what travels through the context: the registry and trace sink
+// shared by a whole pipeline run, plus the innermost open span, so child
+// spans started anywhere downstream — including inside worker-pool
+// goroutines, which inherit the context — nest under their parent.
+type scope struct {
+	reg   *Registry
+	trace *TraceLog
+	span  *Span
+}
+
+// NewContext attaches a registry and trace log to the context. With both
+// nil the context is returned unchanged — the disabled path stays
+// allocation-free end to end.
+func NewContext(ctx context.Context, reg *Registry, trace *TraceLog) context.Context {
+	if reg == nil && trace == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, &scope{reg: reg, trace: trace})
+}
+
+// EnsureContext is NewContext, except a context that already carries an
+// instrumentation scope is returned unchanged — so nested pipeline entry
+// points don't sever an in-flight span chain by re-injecting a fresh scope.
+func EnsureContext(ctx context.Context, reg *Registry, trace *TraceLog) context.Context {
+	if _, ok := ctx.Value(scopeKey{}).(*scope); ok {
+		return ctx
+	}
+	return NewContext(ctx, reg, trace)
+}
+
+// FromContext returns the registry attached to the context, or nil. The nil
+// result is directly usable: every Registry method is nil-safe.
+func FromContext(ctx context.Context) *Registry {
+	if sc, ok := ctx.Value(scopeKey{}).(*scope); ok {
+		return sc.reg
+	}
+	return nil
+}
+
+// Span is one timed pipeline stage. Spans are created by Start, carry
+// int64 annotations (element counts, model counts), and on End record
+// their duration into the registry histogram "span.<name>" and emit one
+// trace event. A nil *Span (what Start returns on an uninstrumented
+// context) is a valid no-op.
+type Span struct {
+	sc     *scope
+	name   string
+	depth  int
+	start  time.Time
+	mu     sync.Mutex
+	fields []Field
+}
+
+// Field is one span annotation.
+type Field struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Start opens a span on an instrumented context and returns the derived
+// context spans started downstream nest under. On an uninstrumented
+// context it returns the context unchanged and a nil span — zero
+// allocations, pinned by TestDisabledPathAllocations.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	sc, ok := ctx.Value(scopeKey{}).(*scope)
+	if !ok {
+		return ctx, nil
+	}
+	sp := &Span{sc: sc, name: name, start: time.Now()}
+	if sc.span != nil {
+		sp.depth = sc.span.depth + 1
+	}
+	child := &scope{reg: sc.reg, trace: sc.trace, span: sp}
+	return context.WithValue(ctx, scopeKey{}, child), sp
+}
+
+// Annotate attaches an integer fact (an element count, a model count) to
+// the span's trace event.
+func (s *Span) Annotate(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.fields = append(s.fields, Field{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span: its duration lands in the "span.<name>" histogram
+// and, when tracing, one JSONL event is emitted. End is idempotent in
+// effect only for nil spans; call it exactly once per started span
+// (defer sp.End() at the call site).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.sc.reg != nil {
+		s.sc.reg.Histogram("span." + s.name).Observe(d)
+	}
+	if s.sc.trace != nil {
+		s.mu.Lock()
+		fields := s.fields
+		s.mu.Unlock()
+		s.sc.trace.emit(s.name, s.depth, d, fields)
+	}
+}
+
+// TraceLog serialises span-end events as JSON lines to a writer. Events
+// from concurrent goroutines interleave whole-line atomically under the
+// internal mutex.
+type TraceLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTraceLog returns a trace sink over w (nil on a nil writer).
+func NewTraceLog(w io.Writer) *TraceLog {
+	if w == nil {
+		return nil
+	}
+	return &TraceLog{w: w}
+}
+
+// emit writes one span event:
+//
+//	{"span":"core.assess","depth":1,"us":1234,"elements":60,"models":3}
+func (t *TraceLog) emit(name string, depth int, d time.Duration, fields []Field) {
+	buf := make([]byte, 0, 96)
+	buf = append(buf, `{"span":`...)
+	buf = strconv.AppendQuote(buf, name)
+	buf = append(buf, `,"depth":`...)
+	buf = strconv.AppendInt(buf, int64(depth), 10)
+	buf = append(buf, `,"us":`...)
+	buf = strconv.AppendInt(buf, d.Microseconds(), 10)
+	for _, f := range fields {
+		buf = append(buf, ',')
+		buf = strconv.AppendQuote(buf, f.Key)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, f.Value, 10)
+	}
+	buf = append(buf, "}\n"...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// A failing trace sink must never fail the pipeline; drop the event.
+	_, _ = t.w.Write(buf)
+}

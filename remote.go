@@ -6,6 +6,7 @@ import (
 
 	"collabscope/internal/core"
 	"collabscope/internal/exchange"
+	"collabscope/internal/obs"
 )
 
 // Remote model exchange: the distributed deployment of the paper's
@@ -42,23 +43,39 @@ func WithRetryPolicy(rp RetryPolicy) Option {
 	return func(p *Pipeline) { p.retry = rp; p.hasRetry = true }
 }
 
-// exchangeClient builds the pipeline's exchange client from its options.
+// exchangeClient builds the pipeline's exchange client from its options —
+// once. The client persists across exchange rounds so its ETag cache can
+// turn repeat fetches of unchanged models into 304 revalidations, and so
+// its metrics (per-peer latency, retries, cache hits) accumulate in the
+// pipeline's registry.
 func (p *Pipeline) exchangeClient() *exchange.Client {
-	var opts []exchange.ClientOption
-	if p.httpClient != nil {
-		opts = append(opts, exchange.WithHTTPClient(p.httpClient))
-	}
-	if p.hasRetry {
-		opts = append(opts, exchange.WithRetryPolicy(p.retry))
-	}
-	return exchange.NewClient(opts...)
+	p.exchOnce.Do(func() {
+		var opts []exchange.ClientOption
+		if p.httpClient != nil {
+			opts = append(opts, exchange.WithHTTPClient(p.httpClient))
+		}
+		if p.hasRetry {
+			opts = append(opts, exchange.WithRetryPolicy(p.retry))
+		}
+		if p.reg != nil {
+			opts = append(opts, exchange.WithMetrics(p.reg))
+		}
+		p.exch = exchange.NewClient(opts...)
+	})
+	return p.exch
 }
 
-// NewModelServer returns an http.Handler publishing the models at
-// /models/<schema> in wire format v1, each with its content hash as a
-// strong ETag, plus a /models listing. Serve it with net/http to become a
-// model hub other parties can assess against.
-func NewModelServer(models ...*Model) (http.Handler, error) {
+// ModelServer is an HTTP hub publishing trained models (an http.Handler).
+// Beyond the model routes it can expose a GET /metrics JSON snapshot
+// (SetMetrics) and, explicitly opted in, the net/http/pprof profiling
+// endpoints under /debug/pprof/ (EnablePprof).
+type ModelServer = exchange.Server
+
+// NewModelServer returns a hub publishing the models at /models/<schema> in
+// wire format v1, each with its content hash as a strong ETag, plus a
+// /models listing. Serve it with net/http to become a model hub other
+// parties can assess against.
+func NewModelServer(models ...*Model) (*ModelServer, error) {
 	return exchange.NewServer(models...)
 }
 
@@ -67,6 +84,9 @@ func NewModelServer(models ...*Model) (http.Handler, error) {
 // each peer that failed. Peers are base URLs of model hubs, e.g.
 // "http://host:8080".
 func (p *Pipeline) FetchModels(ctx context.Context, peers []string) ([]*Model, []PeerError) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.fetch")
+	sp.Annotate("peers", int64(len(peers)))
+	defer sp.End()
 	return p.exchangeClient().FetchAll(ctx, peers)
 }
 
@@ -89,6 +109,9 @@ type RemoteAssessment struct {
 // the paper's design — and Failed reports who was absent. Models published
 // under the local schema's own name are skipped, as Algorithm 2 requires.
 func (p *Pipeline) AssessRemote(ctx context.Context, s *Schema, peers []string) (*RemoteAssessment, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.assess_remote")
+	sp.Annotate("peers", int64(len(peers)))
+	defer sp.End()
 	fetched, failed := p.exchangeClient().FetchAll(ctx, peers)
 	set, err := p.EncodeContext(ctx, s)
 	if err != nil {
@@ -129,6 +152,9 @@ type RemoteScopeResult struct {
 // all-unlinkable — the method's conservative floor — so callers that need
 // a quorum should check Failed.
 func (p *Pipeline) CollaborativeScopeRemote(ctx context.Context, s *Schema, v float64, peers []string) (*RemoteScopeResult, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.scope_remote")
+	sp.Annotate("peers", int64(len(peers)))
+	defer sp.End()
 	set, err := p.EncodeContext(ctx, s)
 	if err != nil {
 		return nil, err
