@@ -1,17 +1,25 @@
-// Command lintobs enforces the repository's timing discipline: time.Now
-// belongs to internal/obs. Hot paths measure durations through
-// obs.Stopwatch / obs.Registry.Clock, which keeps latency observable via
-// WithMetrics and keeps the disabled path zero-cost; a stray time.Now in a
-// loop is invisible to both.
+// Command lintobs enforces two repository hot-path disciplines.
+//
+// Timing: time.Now belongs to internal/obs. Hot paths measure durations
+// through obs.Stopwatch / obs.Registry.Clock, which keeps latency
+// observable via WithMetrics and keeps the disabled path zero-cost; a
+// stray time.Now in a loop is invisible to both.
+//
+// Kernels: per-pair linalg calls (SquaredDistance, CosineSimilarity,
+// Distance) inside doubly nested loops rebuild the O(n²) panels the
+// blocked kernel layer (DESIGN.md §11) exists for. Such call sites should
+// use PairwiseSquaredDistancesInto / CosineSimilaritiesInto /
+// RowSquaredDistancesInto instead; internal/linalg itself is exempt.
 //
 // Usage:
 //
 //	lintobs ./...
 //	lintobs ./internal/parallel ./internal/core
 //
-// Scans non-test Go files under the given roots, skipping internal/obs
-// itself. A deliberate wall-clock use is waived with a trailing
-// "// lintobs:allow <reason>" comment on the offending line.
+// Scans non-test Go files under the given roots, skipping internal/obs for
+// the timing check and internal/linalg for the kernel check. A deliberate
+// use is waived with a trailing "// lintobs:allow <reason>" comment on the
+// offending line.
 package main
 
 import (
@@ -30,7 +38,7 @@ func main() {
 	if len(roots) == 0 {
 		roots = []string{"./..."}
 	}
-	var offenders []string
+	var timeOffenders, kernelOffenders []string
 	for _, root := range roots {
 		root = strings.TrimSuffix(root, "...")
 		root = strings.TrimSuffix(root, "/")
@@ -51,14 +59,21 @@ func main() {
 			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 				return nil
 			}
-			if strings.Contains(filepath.ToSlash(path), "internal/obs/") {
-				return nil
+			slash := filepath.ToSlash(path)
+			if !strings.Contains(slash, "internal/obs/") {
+				found, err := scanFile(path)
+				if err != nil {
+					return err
+				}
+				timeOffenders = append(timeOffenders, found...)
 			}
-			found, err := scanFile(path)
-			if err != nil {
-				return err
+			if !strings.Contains(slash, "internal/linalg/") {
+				found, err := scanKernelBypass(path)
+				if err != nil {
+					return err
+				}
+				kernelOffenders = append(kernelOffenders, found...)
 			}
-			offenders = append(offenders, found...)
 			return nil
 		})
 		if err != nil {
@@ -66,12 +81,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if len(offenders) > 0 {
+	if len(timeOffenders) > 0 {
 		fmt.Fprintln(os.Stderr, "lintobs: time.Now outside internal/obs — use obs.NewStopwatch / obs.Registry.Clock,")
 		fmt.Fprintln(os.Stderr, "lintobs: or waive a deliberate wall-clock use with `// lintobs:allow <reason>`:")
-		for _, o := range offenders {
+		for _, o := range timeOffenders {
 			fmt.Fprintln(os.Stderr, "\t"+o)
 		}
+	}
+	if len(kernelOffenders) > 0 {
+		fmt.Fprintln(os.Stderr, "lintobs: per-pair linalg call in a nested loop — use the blocked kernels")
+		fmt.Fprintln(os.Stderr, "lintobs: (PairwiseSquaredDistancesInto / CosineSimilaritiesInto / RowSquaredDistancesInto),")
+		fmt.Fprintln(os.Stderr, "lintobs: or waive a deliberate per-pair use with `// lintobs:allow <reason>`:")
+		for _, o := range kernelOffenders {
+			fmt.Fprintln(os.Stderr, "\t"+o)
+		}
+	}
+	if len(timeOffenders)+len(kernelOffenders) > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("lintobs: clean")
@@ -119,6 +144,90 @@ func scanFile(path string) ([]string, error) {
 		}
 		ident, ok := sel.X.(*ast.Ident)
 		if !ok || ident.Name != timeName {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if !waived[pos.Line] {
+			offenders = append(offenders, fmt.Sprintf("%s:%d", pos.Filename, pos.Line))
+		}
+		return true
+	})
+	return offenders, nil
+}
+
+// kernelBypass is the set of per-pair linalg helpers that rebuild an
+// O(n²) panel when called inside doubly nested loops.
+var kernelBypass = map[string]bool{
+	"SquaredDistance":  true,
+	"CosineSimilarity": true,
+	"Distance":         true,
+}
+
+// scanKernelBypass returns one "<path>:<line>" per unwaived per-pair
+// linalg call at for/range nesting depth ≥ 2.
+func scanKernelBypass(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the local name of the linalg import ("linalg" unless renamed).
+	linalgName := ""
+	for _, imp := range file.Imports {
+		if !strings.HasSuffix(strings.Trim(imp.Path.Value, `"`), "internal/linalg") {
+			continue
+		}
+		linalgName = "linalg"
+		if imp.Name != nil {
+			linalgName = imp.Name.Name
+		}
+	}
+	if linalgName == "" || linalgName == "_" {
+		return nil, nil
+	}
+	waived := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "lintobs:allow") {
+				waived[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	var offenders []string
+	// Track loop nesting with an explicit stack mirroring ast.Inspect's
+	// push (n != nil) / pop (n == nil) protocol.
+	var stack []bool
+	loopDepth := 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			if stack[len(stack)-1] {
+				loopDepth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		isLoop := false
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			isLoop = true
+		}
+		stack = append(stack, isLoop)
+		if isLoop {
+			loopDepth++
+		}
+		if loopDepth < 2 {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !kernelBypass[sel.Sel.Name] {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || ident.Name != linalgName {
 			return true
 		}
 		pos := fset.Position(call.Pos())

@@ -2,6 +2,11 @@
 // an exact flat L2 index (the behaviour of FAISS IndexFlatL2, which the
 // paper's "LSH" matcher actually uses) and a genuine random-hyperplane
 // locality-sensitive-hashing index offered as the approximate variant.
+//
+// Both indexes run on the internal/linalg kernel layer: per-query distance
+// panels plus bounded-heap top-k selection instead of a full sort, and a
+// SearchInto variant with caller-owned result and scratch storage so batch
+// query loops allocate nothing in steady state.
 package ann
 
 import (
@@ -21,11 +26,26 @@ type Neighbor struct {
 	Distance float64
 }
 
+// Scratch holds the reusable buffers of SearchInto: the per-row distance
+// panel, the top-k heap, and (for LSH) the candidate list. The zero value
+// is ready; buffers grow on demand and are retained across calls. A
+// Scratch must not be shared between concurrent searches.
+type Scratch struct {
+	dists []float64
+	heap  []int
+	cand  []int
+}
+
 // Index answers top-k nearest-neighbour queries.
 type Index interface {
 	// Search returns up to k nearest neighbours of the query, nearest
 	// first.
 	Search(query []float64, k int) []Neighbor
+	// SearchInto is Search with caller-owned storage: hits are appended
+	// into dst (reused when capacity allows) and working memory comes from
+	// sc. Both may be nil. The returned slice is valid until the next call
+	// that reuses dst.
+	SearchInto(query []float64, k int, dst []Neighbor, sc *Scratch) []Neighbor
 	// Len returns the number of indexed vectors.
 	Len() int
 }
@@ -46,19 +66,42 @@ func (f *FlatIndex) Len() int { return f.data.Rows() }
 
 // Search implements Index.
 func (f *FlatIndex) Search(query []float64, k int) []Neighbor {
+	return f.SearchInto(query, k, nil, nil)
+}
+
+// SearchInto implements Index. One kernel distance panel over the indexed
+// rows followed by bounded-heap top-k selection; ties break toward the
+// smaller row index, matching a stable sort by distance.
+func (f *FlatIndex) SearchInto(query []float64, k int, dst []Neighbor, sc *Scratch) []Neighbor {
 	n := f.data.Rows()
 	if k <= 0 || n == 0 {
-		return nil
+		return dst[:0]
 	}
-	hits := make([]Neighbor, n)
-	for i := 0; i < n; i++ {
-		hits[i] = Neighbor{Index: i, Distance: linalg.SquaredDistance(query, f.data.RowView(i))}
+	if sc == nil {
+		sc = &Scratch{}
 	}
-	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Distance < hits[b].Distance })
+	if cap(sc.dists) < n {
+		sc.dists = make([]float64, n)
+	}
+	dists := sc.dists[:n]
+	linalg.RowSquaredDistancesInto(dists, f.data, query)
+	sc.heap = linalg.TopKInto(dists, k, sc.heap)
 	if k > n {
 		k = n
 	}
-	return hits[:k]
+	dst = growHits(dst, k)
+	for r, i := range sc.heap[:k] {
+		dst[r] = Neighbor{Index: i, Distance: dists[i]}
+	}
+	return dst
+}
+
+// growHits returns dst resized to k entries, reusing capacity.
+func growHits(dst []Neighbor, k int) []Neighbor {
+	if cap(dst) < k {
+		return make([]Neighbor, k)
+	}
+	return dst[:k]
 }
 
 // LSHConfig configures the random-hyperplane LSH index.
@@ -135,35 +178,53 @@ func (l *LSHIndex) hash(table int, v []float64) uint64 {
 // bucket matches, it falls back to an exact scan so callers always receive
 // k results when k ≤ Len().
 func (l *LSHIndex) Search(query []float64, k int) []Neighbor {
+	return l.SearchInto(query, k, nil, nil)
+}
+
+// SearchInto implements Index. Bucket candidates are gathered into the
+// scratch, sorted and deduplicated (replacing a per-query set allocation),
+// then re-ranked with the top-k kernel; equal distances break toward the
+// smaller row index, exactly as the previous full sort did.
+func (l *LSHIndex) SearchInto(query []float64, k int, dst []Neighbor, sc *Scratch) []Neighbor {
 	if k <= 0 || l.data.Rows() == 0 {
-		return nil
+		return dst[:0]
 	}
-	seen := map[int]bool{}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	cand := sc.cand[:0]
 	for t := range l.tables {
-		for _, i := range l.tables[t][l.hash(t, query)] {
-			seen[i] = true
+		cand = append(cand, l.tables[t][l.hash(t, query)]...)
+	}
+	sort.Ints(cand)
+	// Dedupe in place; buckets from different tables overlap heavily.
+	uniq := cand[:0]
+	for i, v := range cand {
+		if i == 0 || v != cand[i-1] {
+			uniq = append(uniq, v)
 		}
 	}
-	if len(seen) < k {
-		return NewFlatIndex(l.data).Search(query, k)
+	sc.cand = cand[:cap(cand)][:0]
+	if len(uniq) < k {
+		return (&FlatIndex{data: l.data}).SearchInto(query, k, dst, sc)
 	}
-	hits := make([]Neighbor, 0, len(seen))
-	for i := range seen {
-		hits = append(hits, Neighbor{
-			Index:    i,
-			Distance: linalg.SquaredDistance(query, l.data.RowView(i)),
-		})
+	if cap(sc.dists) < len(uniq) {
+		sc.dists = make([]float64, len(uniq))
 	}
-	sort.SliceStable(hits, func(a, b int) bool {
-		if hits[a].Distance != hits[b].Distance {
-			return hits[a].Distance < hits[b].Distance
-		}
-		return hits[a].Index < hits[b].Index
-	})
-	if k > len(hits) {
-		k = len(hits)
+	dists := sc.dists[:len(uniq)]
+	for p, i := range uniq {
+		dists[p] = linalg.SquaredDistance(query, l.data.RowView(i))
 	}
-	return hits[:k]
+	// Positional ties equal index ties because uniq is in ascending order.
+	sc.heap = linalg.TopKInto(dists, k, sc.heap)
+	if k > len(uniq) {
+		k = len(uniq)
+	}
+	dst = growHits(dst, k)
+	for r, p := range sc.heap[:k] {
+		dst[r] = Neighbor{Index: uniq[p], Distance: dists[p]}
+	}
+	return dst
 }
 
 // Recall computes the fraction of exact top-k neighbours that an index

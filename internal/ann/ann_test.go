@@ -150,3 +150,52 @@ func TestFlatSearchInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSearchIntoMatchesSearch(t *testing.T) {
+	x := randomData(120, 16, 3)
+	q := x.RowView(7)
+	var sc Scratch
+	var dst []Neighbor
+	for _, idx := range []Index{NewFlatIndex(x), mustLSH(t, x)} {
+		want := idx.Search(q, 9)
+		dst = idx.SearchInto(q, 9, dst, &sc)
+		if len(dst) != len(want) {
+			t.Fatalf("SearchInto len = %d, Search len = %d", len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("hit %d: SearchInto %+v, Search %+v", i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func mustLSH(t *testing.T, x *linalg.Dense) *LSHIndex {
+	t.Helper()
+	idx, err := NewLSHIndex(x, LSHConfig{Tables: 4, Bits: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestSearchIntoAllocFree(t *testing.T) {
+	x := randomData(200, 24, 5)
+	q := x.RowView(0)
+	flat := NewFlatIndex(x)
+	var sc Scratch
+	dst := flat.SearchInto(q, 10, nil, &sc) // warm scratch and dst
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = flat.SearchInto(q, 10, dst, &sc)
+	}); allocs != 0 {
+		t.Fatalf("FlatIndex.SearchInto allocs/op = %v, want 0", allocs)
+	}
+
+	lsh := mustLSH(t, x)
+	dst = lsh.SearchInto(q, 10, dst, &sc)
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = lsh.SearchInto(q, 10, dst, &sc)
+	}); allocs != 0 {
+		t.Fatalf("LSHIndex.SearchInto allocs/op = %v, want 0", allocs)
+	}
+}

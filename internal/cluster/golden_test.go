@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"collabscope/internal/linalg"
+)
+
+// goldenMatrixC builds a deterministic input with one exact duplicate row
+// so the goldens exercise zero-distance ties in the pairwise kernels.
+func goldenMatrixC(n, d int, seed int64) *linalg.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := linalg.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	copy(m.RowView(n-1), m.RowView(0))
+	return m
+}
+
+// TestClusterGoldens pins k-means, silhouette, and HAC outputs on a fixed
+// input. The values were captured from the pre-kernel scalar
+// implementations; the blocked distance kernels must reproduce the exact
+// same assignments and match the scalar metrics to within 1e-9.
+func TestClusterGoldens(t *testing.T) {
+	x := goldenMatrixC(40, 16, 11)
+
+	res, err := KMeans(x, Config{K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAssign := []int{0, 2, 2, 3, 3, 3, 3, 4, 4, 3, 3, 1, 2, 1, 1, 3, 1, 2, 4, 1, 3, 2, 3, 1, 3, 4, 0, 2, 3, 1, 1, 3, 3, 1, 2, 3, 3, 1, 3, 0}
+	for i, w := range wantAssign {
+		if res.Assignments[i] != w {
+			t.Fatalf("assign[%d] = %d, want %d", i, res.Assignments[i], w)
+		}
+	}
+	if math.Abs(res.Inertia-402.5775262982247) > 1e-9 {
+		t.Errorf("inertia = %v, want 402.5775262982247", res.Inertia)
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d, want 5", res.Iterations)
+	}
+	if sil := Silhouette(x, res.Assignments); math.Abs(sil-0.09218966569688755) > 1e-9 {
+		t.Errorf("silhouette = %v, want 0.09218966569688755", sil)
+	}
+
+	hac, err := HAC(x, HACConfig{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHAC := []int{0, 1, 0, 1, 1, 1, 1, 2, 1, 1, 1, 1, 2, 1, 1, 1, 1, 0, 2, 1, 1, 0, 1, 1, 1, 3, 0, 2, 1, 1, 4, 0, 1, 1, 4, 1, 1, 1, 5, 0}
+	for i, w := range wantHAC {
+		if hac[i] != w {
+			t.Fatalf("hac[%d] = %d, want %d", i, hac[i], w)
+		}
+	}
+
+	hacCut, err := HAC(x, HACConfig{Linkage: CompleteLink, Cutoff: 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCut := []int{0, 1, 2, 1, 1, 1, 1, 2, 1, 1, 1, 1, 2, 1, 1, 1, 1, 2, 2, 1, 1, 2, 1, 1, 1, 2, 0, 2, 1, 1, 3, 1, 1, 1, 3, 1, 1, 1, 3, 0}
+	for i, w := range wantCut {
+		if hacCut[i] != w {
+			t.Fatalf("hacCut[%d] = %d, want %d", i, hacCut[i], w)
+		}
+	}
+}

@@ -61,17 +61,12 @@ func HAC(x *linalg.Dense, cfg HACConfig) ([]int, error) {
 		return nil, fmt.Errorf("cluster: HAC needs a positive Cutoff or K")
 	}
 
-	// Pairwise distance matrix, updated in place via Lance-Williams.
+	// Pairwise distance matrix from the symmetric blocked kernel, updated
+	// in place via Lance-Williams through row views of the same storage.
+	distM := linalg.PairwiseDistancesInto(linalg.NewDense(n, n), x, x)
 	dist := make([][]float64, n)
 	for i := range dist {
-		dist[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := linalg.Distance(x.RowView(i), x.RowView(j))
-			dist[i][j] = d
-			dist[j][i] = d
-		}
+		dist[i] = distM.RowView(i)
 	}
 
 	active := make([]bool, n)

@@ -61,13 +61,18 @@ func KMeans(x *linalg.Dense, cfg Config) (*Result, error) {
 	assign := make([]int, n)
 	res := &Result{Assignments: assign, Centroids: centroids}
 
+	// The n×k assignment panel is recomputed each Lloyd iteration by the
+	// blocked pairwise kernel into one reused matrix; the argmin scan keeps
+	// the strict ascending-c tie-break of the per-pair formulation.
+	distM := linalg.NewDense(n, k)
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		res.Inertia = 0
+		linalg.PairwiseSquaredDistancesInto(distM, x, centroids)
 		for i := 0; i < n; i++ {
+			row := distM.RowView(i)
 			best, bestD := 0, math.Inf(1)
-			for c := 0; c < k; c++ {
-				d := linalg.SquaredDistance(x.RowView(i), centroids.RowView(c))
+			for c, d := range row {
 				if d < bestD {
 					best, bestD = c, d
 				}
@@ -119,10 +124,8 @@ func seedPlusPlus(x *linalg.Dense, k int, rng *rand.Rand) *linalg.Dense {
 	centroids := linalg.NewDense(k, x.Cols())
 	first := rng.Intn(n)
 	copy(centroids.RowView(0), x.RowView(first))
-	d2 := make([]float64, n)
-	for i := range d2 {
-		d2[i] = linalg.SquaredDistance(x.RowView(i), centroids.RowView(0))
-	}
+	d2 := linalg.RowSquaredDistancesInto(make([]float64, n), x, centroids.RowView(0))
+	tmp := make([]float64, n)
 	for c := 1; c < k; c++ {
 		var total float64
 		for _, d := range d2 {
@@ -143,8 +146,8 @@ func seedPlusPlus(x *linalg.Dense, k int, rng *rand.Rand) *linalg.Dense {
 			}
 		}
 		copy(centroids.RowView(c), x.RowView(pick))
-		for i := range d2 {
-			d := linalg.SquaredDistance(x.RowView(i), centroids.RowView(c))
+		linalg.RowSquaredDistancesInto(tmp, x, centroids.RowView(c))
+		for i, d := range tmp {
 			if d < d2[i] {
 				d2[i] = d
 			}
@@ -186,17 +189,21 @@ func Silhouette(x *linalg.Dense, assign []int) float64 {
 	for _, a := range assign {
 		counts[a]++
 	}
+	// One symmetric kernel pass replaces the per-(i, j) distance calls; the
+	// per-cluster sums then fold in the same ascending-j order as before.
+	dist := linalg.PairwiseDistancesInto(linalg.NewDense(n, n), x, x)
 	var total float64
 	sums := make([]float64, k)
 	for i := 0; i < n; i++ {
 		for c := range sums {
 			sums[c] = 0
 		}
+		di := dist.RowView(i)
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			sums[assign[j]] += linalg.Distance(x.RowView(i), x.RowView(j))
+			sums[assign[j]] += di[j]
 		}
 		own := assign[i]
 		if counts[own] <= 1 {

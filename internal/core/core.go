@@ -174,6 +174,13 @@ func (m *Model) Errors(x *linalg.Dense) []float64 {
 	return m.pca.ReconstructionErrors(x)
 }
 
+// ErrorsInto is Errors with caller-owned result and encode–decode scratch
+// storage (see linalg.PCAScratch); with a warm scratch a batch assessment
+// pass allocates nothing beyond the verdicts.
+func (m *Model) ErrorsInto(x *linalg.Dense, dst []float64, sc *linalg.PCAScratch) []float64 {
+	return m.pca.ReconstructionErrorsInto(x, dst, sc)
+}
+
 // Accepts reports whether a signature reconstructs within the model's local
 // linkability range, i.e. whether this model recognises the element as
 // linkable (Definition 4).
@@ -237,7 +244,7 @@ func AssessContext(ctx context.Context, workers int, local *embed.SignatureSet, 
 	sp.Annotate("models", int64(len(foreign)))
 	defer sp.End()
 	errsByModel, err := parallel.Map(ctx, workers, foreign, func(_ int, m *Model) ([]float64, error) {
-		return m.Errors(local.Matrix), nil
+		return m.ErrorsInto(local.Matrix, make([]float64, local.Len()), nil), nil
 	})
 	if err != nil {
 		return nil, err

@@ -133,6 +133,8 @@ func BlockTopK(enc embed.Encoder, sources []Source, keep map[schema.ElementID]bo
 	}
 	seen := map[CandidatePair]bool{}
 	var out []CandidatePair
+	var sc ann.Scratch
+	var hits []ann.Neighbor
 	for i := range sets {
 		for j := range sets {
 			if i == j || sets[j].Len() == 0 {
@@ -140,7 +142,8 @@ func BlockTopK(enc embed.Encoder, sources []Source, keep map[schema.ElementID]bo
 			}
 			idx := ann.NewFlatIndex(sets[j].Matrix)
 			for q := 0; q < sets[i].Len(); q++ {
-				for _, hit := range idx.Search(sets[i].Matrix.RowView(q), k) {
+				hits = idx.SearchInto(sets[i].Matrix.RowView(q), k, hits, &sc)
+				for _, hit := range hits {
 					a, b := sets[i].IDs[q], sets[j].IDs[hit.Index]
 					if a.Table != b.Table {
 						continue // different entity types

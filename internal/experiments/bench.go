@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 
 	"collabscope/internal/datasets"
+	"collabscope/internal/linalg"
+	"collabscope/internal/match"
 	"collabscope/internal/obs"
 	"collabscope/internal/outlier"
 )
@@ -89,6 +93,55 @@ func calibrate() BenchEntry {
 	return BenchEntry{Name: CalibrationName, WallNS: int64(sw.Elapsed())}
 }
 
+// Kernel micro-stages: fixed deterministic workloads over the shared
+// blocked-kernel layer (DESIGN.md §11), so benchdiff gates the kernels
+// themselves, not just the pipelines built on them. Sizes mirror the
+// OC3-FO hot paths (n≈287 signature rows).
+
+func benchRandDense(rng *rand.Rand, r, c int) *linalg.Dense {
+	m := linalg.NewDense(r, c)
+	for i := 0; i < r; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func benchKernelGEMM() error {
+	rng := rand.New(rand.NewSource(1))
+	a := benchRandDense(rng, 287, 384)
+	b := benchRandDense(rng, 384, 64)
+	dst := linalg.NewDense(287, 64)
+	for rep := 0; rep < 20; rep++ {
+		linalg.MulInto(dst, a, b)
+	}
+	return nil
+}
+
+func benchKernelPairwise(enc *Encoded) error {
+	x := enc.Union.Matrix
+	dst := linalg.NewDense(x.Rows(), x.Rows())
+	for rep := 0; rep < 10; rep++ {
+		linalg.PairwiseSquaredDistancesInto(dst, x, x)
+	}
+	return nil
+}
+
+func benchKernelTopK(enc *Encoded) error {
+	x := enc.Union.Matrix
+	dst := linalg.NewDense(x.Rows(), x.Rows())
+	linalg.PairwiseSquaredDistancesInto(dst, x, x)
+	var scratch []int
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < dst.Rows(); i++ {
+			scratch = linalg.TopKInto(dst.RowView(i), 10, scratch)
+		}
+	}
+	return nil
+}
+
 // RunBench times the paper's evaluation tables on both datasets and returns
 // the report. Every timed stage is the same code path benchtables runs when
 // printing the corresponding table.
@@ -117,6 +170,22 @@ func RunBench(cfg Config) (*BenchReport, error) {
 		name string
 		f    func() error
 	}{
+		{"kernel_gemm", func() error { return benchKernelGEMM() }},
+		{"kernel_pairwise", func() error { return benchKernelPairwise(ocfo) }},
+		{"kernel_topk", func() error { return benchKernelTopK(ocfo) }},
+		{"matcher_composite", func() error {
+			_ = match.Composite{Threshold: 0.6}.Match(ocfo.Sets[0], ocfo.Sets[1])
+			return nil
+		}},
+		{"detector_lof", func() error {
+			_, err := outlier.LOF{Neighbors: 20}.ScoresContext(context.Background(), 1, ocfo.Union.Matrix)
+			return err
+		}},
+		{"detector_autoencoder", func() error {
+			_, err := outlier.Autoencoder{Models: cfg.AEModels, Epochs: cfg.AEEpochs, Seed: cfg.Seed}.
+				ScoresContext(context.Background(), 1, ocfo.Union.Matrix)
+			return err
+		}},
 		{"table4_oc3", func() error { _, err := Table4(cfg, oc3); return err }},
 		{"table4_oc3fo", func() error { _, err := Table4(cfg, ocfo); return err }},
 		{"figure3", func() error { Figure3(cfg, ocfo, 12); return nil }},

@@ -1,0 +1,74 @@
+package linalg_test
+
+import (
+	"testing"
+
+	"collabscope/internal/linalg"
+)
+
+// OC3-FO scale: 287 union elements × 384 embedding dims — the shapes the
+// matcher and detector hot paths run the kernels at.
+const (
+	benchRows = 287
+	benchDim  = 384
+)
+
+func BenchmarkKernelGEMM(b *testing.B) {
+	a := randDense(b, benchRows, benchDim, 1)
+	w := randDense(b, benchDim, 64, 2)
+	dst := linalg.NewDense(benchRows, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.MulInto(dst, a, w)
+	}
+}
+
+func BenchmarkKernelMulTrans(b *testing.B) {
+	a := randDense(b, benchRows, benchDim, 3)
+	w := randDense(b, 64, benchDim, 4)
+	dst := linalg.NewDense(benchRows, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.MulTransInto(dst, a, w)
+	}
+}
+
+func BenchmarkKernelPairwiseSquared(b *testing.B) {
+	a := randDense(b, benchRows, benchDim, 5)
+	dst := linalg.NewDense(benchRows, benchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.PairwiseSquaredDistancesInto(dst, a, a)
+	}
+}
+
+func BenchmarkKernelCosine(b *testing.B) {
+	a := randDense(b, benchRows, benchDim, 6)
+	c := randDense(b, benchRows, benchDim, 7)
+	an := linalg.RowNormsInto(make([]float64, benchRows), a)
+	cn := linalg.RowNormsInto(make([]float64, benchRows), c)
+	dst := linalg.NewDense(benchRows, benchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.CosineSimilaritiesInto(dst, a, c, an, cn)
+	}
+}
+
+func BenchmarkKernelTopK(b *testing.B) {
+	vals := randDense(b, 1, benchRows, 8).RowView(0)
+	for i := range vals {
+		if vals[i] < 0 {
+			vals[i] = -vals[i]
+		}
+	}
+	var scratch []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = linalg.TopKInto(vals, 10, scratch)
+	}
+}

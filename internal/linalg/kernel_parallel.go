@@ -1,0 +1,125 @@
+package linalg
+
+// Row-blocked parallel fronts for the kernels in kernel.go. Work splits by
+// output row through internal/parallel, so determinism is inherited: each
+// cell is written exactly once by a fixed row owner with the sequential
+// kernels' accumulation order, making results bit-identical at any worker
+// count. Per-kernel row counters register with the obs.Registry attached to
+// the context (no-ops when absent).
+import (
+	"context"
+	"math"
+
+	"collabscope/internal/obs"
+	"collabscope/internal/parallel"
+)
+
+// ParallelPairwiseSquaredDistancesInto fills dst as in
+// PairwiseSquaredDistancesInto, splitting by row of a. In the symmetric
+// case (a and b the same matrix) row i computes only j > i and mirrors into
+// column i, so every cell still has a single writer.
+func ParallelPairwiseSquaredDistancesInto(ctx context.Context, workers int, dst, a, b *Dense) error {
+	if a.cols != b.cols {
+		panic("linalg: pairwise distance column mismatch")
+	}
+	checkDst("ParallelPairwiseSquaredDistancesInto", dst, a.rows, b.rows)
+	checkNoAlias("ParallelPairwiseSquaredDistancesInto", dst, a, b)
+	rows := obs.FromContext(ctx).Counter("linalg.kernel.pairwise.rows")
+	sym := sameMatrix(a, b)
+	err := parallel.ForEach(ctx, workers, a.rows, func(i int) error {
+		di := dst.data[i*dst.cols : (i+1)*dst.cols]
+		if sym {
+			di[i] = 0
+			pairRowSquared(di, a, b, i, i+1, b.rows)
+			for j := i + 1; j < b.rows; j++ {
+				dst.data[j*dst.cols+i] = di[j]
+			}
+		} else {
+			pairRowSquared(di, a, b, i, 0, b.rows)
+		}
+		return nil
+	})
+	rows.Add(int64(a.rows))
+	return err
+}
+
+// ParallelPairwiseDistancesInto is the Euclidean (square-rooted) variant of
+// ParallelPairwiseSquaredDistancesInto.
+func ParallelPairwiseDistancesInto(ctx context.Context, workers int, dst, a, b *Dense) error {
+	if err := ParallelPairwiseSquaredDistancesInto(ctx, workers, dst, a, b); err != nil {
+		return err
+	}
+	return parallel.ForEach(ctx, workers, a.rows, func(i int) error {
+		di := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j, v := range di {
+			di[j] = math.Sqrt(v)
+		}
+		return nil
+	})
+}
+
+// ParallelCosineSimilaritiesInto fills dst as in CosineSimilaritiesInto,
+// splitting by row of a, with norms precomputed by the caller.
+func ParallelCosineSimilaritiesInto(ctx context.Context, workers int, dst, a, b *Dense, aNorms, bNorms []float64) error {
+	if a.cols != b.cols {
+		panic("linalg: cosine column mismatch")
+	}
+	if len(aNorms) != a.rows || len(bNorms) != b.rows {
+		panic("linalg: cosine norm length mismatch")
+	}
+	checkDst("ParallelCosineSimilaritiesInto", dst, a.rows, b.rows)
+	checkNoAlias("ParallelCosineSimilaritiesInto", dst, a, b)
+	rows := obs.FromContext(ctx).Counter("linalg.kernel.cosine.rows")
+	d := a.cols
+	err := parallel.ForEach(ctx, workers, a.rows, func(i int) error {
+		ai := a.data[i*d : (i+1)*d]
+		oi := dst.data[i*dst.cols : (i+1)*dst.cols]
+		na := aNorms[i]
+		for j := 0; j < b.rows; j++ {
+			nb := bNorms[j]
+			if na == 0 || nb == 0 {
+				oi[j] = 0
+				continue
+			}
+			bj := b.data[j*d : (j+1)*d]
+			var s float64
+			for k, aik := range ai {
+				s += aik * bj[k]
+			}
+			oi[j] = s / (na * nb)
+		}
+		return nil
+	})
+	rows.Add(int64(a.rows))
+	return err
+}
+
+// ParallelMulInto computes dst = a·b splitting by row of a; per-cell
+// accumulation stays k-ascending, identical to MulInto.
+func ParallelMulInto(ctx context.Context, workers int, dst, a, b *Dense) error {
+	if a.cols != b.rows {
+		panic("linalg: ParallelMulInto dimension mismatch")
+	}
+	checkDst("ParallelMulInto", dst, a.rows, b.cols)
+	checkNoAlias("ParallelMulInto", dst, a, b)
+	rows := obs.FromContext(ctx).Counter("linalg.kernel.gemm.rows")
+	err := parallel.ForEach(ctx, workers, a.rows, func(i int) error {
+		oi := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range oi {
+			oi[j] = 0
+		}
+		ai := a.data[i*a.cols : (i+1)*a.cols]
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range bk {
+				oi[j] += aik * bkj
+			}
+		}
+		return nil
+	})
+	rows.Add(int64(a.rows))
+	return err
+}

@@ -89,6 +89,16 @@ func (m *Dense) RowView(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// LeadingRows returns a view of the first r rows backed by the same
+// storage — the resizing trick batched hot paths use to reuse one scratch
+// matrix for a final short batch. Mutating the view mutates m.
+func (m *Dense) LeadingRows(r int) *Dense {
+	if r < 0 || r > m.rows {
+		panic(fmt.Sprintf("linalg: leading rows %d out of range %d", r, m.rows))
+	}
+	return &Dense{rows: r, cols: m.cols, data: m.data[:r*m.cols]}
+}
+
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {
@@ -243,6 +253,32 @@ func RowMSE(m, b *Dense) []float64 {
 		out[i] = s / float64(m.cols)
 	}
 	return out
+}
+
+// RowMSEInto is RowMSE writing into a caller-supplied slice of length
+// m.Rows(), allocating nothing.
+func RowMSEInto(dst []float64, m, b *Dense) []float64 {
+	m.sameShape(b)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: RowMSEInto dst length %d, want %d", len(dst), m.rows))
+	}
+	if m.cols == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		mr := m.data[i*m.cols : (i+1)*m.cols]
+		br := b.data[i*m.cols : (i+1)*m.cols]
+		for j := range mr {
+			d := mr[j] - br[j]
+			s += d * d
+		}
+		dst[i] = s / float64(m.cols)
+	}
+	return dst
 }
 
 // MaxAbsDiff returns the maximum absolute element-wise difference between

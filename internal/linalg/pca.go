@@ -68,14 +68,20 @@ func (p *PCA) Truncate(variance float64) *PCA {
 	}
 }
 
-// Encode projects the rows of x into the latent space: (x − μ)·PCᵀ.
+// Encode projects the rows of x into the latent space: (x − μ)·PCᵀ. The
+// projection runs on the MulTransInto kernel, so no transpose of the
+// component matrix is materialised.
 func (p *PCA) Encode(x *Dense) *Dense {
-	return x.SubRow(p.Mean).Mul(p.Components.T())
+	out := NewDense(x.Rows(), p.Components.Rows())
+	return MulTransInto(out, x.SubRow(p.Mean), p.Components)
 }
 
 // Decode maps latent codes back to the original space: z·PC + μ.
 func (p *PCA) Decode(z *Dense) *Dense {
-	return z.Mul(p.Components).AddRow(p.Mean)
+	out := NewDense(z.Rows(), p.Components.Cols())
+	MulInto(out, z, p.Components)
+	addRowInPlace(out, p.Mean)
+	return out
 }
 
 // Reconstruct encodes and decodes the rows of x.
@@ -87,5 +93,81 @@ func (p *PCA) Reconstruct(x *Dense) *Dense {
 // reconstruction — the outlier scores of Algorithm 1 line 14 and
 // Definition 4.
 func (p *PCA) ReconstructionErrors(x *Dense) []float64 {
-	return RowMSE(x, p.Reconstruct(x))
+	out := make([]float64, x.Rows())
+	p.ReconstructionErrorsInto(x, out, nil)
+	return out
+}
+
+// PCAScratch holds the intermediate matrices of an encode–decode round
+// trip so repeated scoring passes allocate nothing. The zero value is
+// ready; matrices are (re)sized on first use and whenever shapes change.
+// A scratch must not be shared between concurrent calls.
+type PCAScratch struct {
+	centered *Dense // x − μ
+	z        *Dense // latent codes
+	rec      *Dense // decoded reconstruction
+}
+
+// ensure resizes the scratch matrices for n input rows of d columns
+// encoded into c components.
+func (s *PCAScratch) ensure(n, d, c int) {
+	s.centered = EnsureDense(s.centered, n, d)
+	s.z = EnsureDense(s.z, n, c)
+	s.rec = EnsureDense(s.rec, n, d)
+}
+
+// EnsureDense returns m if it already has the requested shape, reslices
+// its storage when capacity allows (allocating only a new header), and
+// otherwise allocates a fresh matrix — the scratch-resizing primitive of
+// the kernel layer's caller-owned-memory contract. Contents are
+// unspecified after a resize.
+func EnsureDense(m *Dense, r, c int) *Dense {
+	if m != nil && m.rows == r && m.cols == c {
+		return m
+	}
+	if m != nil && cap(m.data) >= r*c {
+		return &Dense{rows: r, cols: c, data: m.data[:r*c]}
+	}
+	return NewDense(r, c)
+}
+
+// ReconstructionErrorsInto writes the per-row reconstruction MSE of x into
+// dst (length x.Rows()) and returns it. With a non-nil warm scratch the
+// call allocates nothing; results are bit-identical to
+// ReconstructionErrors.
+func (p *PCA) ReconstructionErrorsInto(x *Dense, dst []float64, sc *PCAScratch) []float64 {
+	if sc == nil {
+		sc = &PCAScratch{}
+	}
+	sc.ensure(x.Rows(), x.Cols(), p.Components.Rows())
+	copy(sc.centered.data, x.data)
+	subRowInPlace(sc.centered, p.Mean)
+	MulTransInto(sc.z, sc.centered, p.Components)
+	MulInto(sc.rec, sc.z, p.Components)
+	addRowInPlace(sc.rec, p.Mean)
+	return RowMSEInto(dst, x, sc.rec)
+}
+
+func addRowInPlace(m *Dense, v []float64) {
+	if len(v) != m.cols {
+		panic("linalg: row vector length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+func subRowInPlace(m *Dense, v []float64) {
+	if len(v) != m.cols {
+		panic("linalg: row vector length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			row[j] -= v[j]
+		}
+	}
 }

@@ -23,7 +23,13 @@ type Composite struct {
 // Name implements Matcher.
 func (c Composite) Name() string { return fmt.Sprintf("COMA(%.1f)", c.Threshold) }
 
-// Match implements Matcher.
+// Match implements Matcher. Element names and cosine similarities are
+// computed in one pass per signature set (names hoisted, norms precomputed,
+// similarity matrix via the blocked kernel) instead of per pair, and the
+// lexical comparison — the dominant cost — runs only when it can still lift
+// the pair over the threshold: NameSimilarity is at most 1, so a pair with
+// w·1 + (1−w)·sig below the threshold is rejected without it. Both scores
+// and the kept set are identical to the per-pair formulation.
 func (c Composite) Match(a, b *embed.SignatureSet) []Pair {
 	w := c.NameWeight
 	if w <= 0 {
@@ -32,6 +38,11 @@ func (c Composite) Match(a, b *embed.SignatureSet) []Pair {
 	if w > 1 {
 		w = 1
 	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil
+	}
+	namesA, namesB := elementNames(a), elementNames(b)
+	cos := cosineMatrix(a, b)
 	var out []Pair
 	for i := 0; i < a.Len(); i++ {
 		for j := 0; j < b.Len(); j++ {
@@ -39,15 +50,36 @@ func (c Composite) Match(a, b *embed.SignatureSet) []Pair {
 			if ia.Kind != ib.Kind {
 				continue
 			}
-			name := NameSimilarity(elementName(ia), elementName(ib))
-			sig := linalg.CosineSimilarity(a.Matrix.RowView(i), b.Matrix.RowView(j))
+			sig := cos.At(i, j)
 			if sig < 0 {
 				sig = 0
 			}
+			if w+(1-w)*sig < c.Threshold {
+				continue
+			}
+			name := NameSimilarity(namesA[i], namesB[j])
 			if w*name+(1-w)*sig >= c.Threshold {
 				out = append(out, Pair{A: ia, B: ib}.Canonical())
 			}
 		}
 	}
 	return out
+}
+
+// elementNames extracts the comparable name of every element once per set.
+func elementNames(s *embed.SignatureSet) []string {
+	names := make([]string, len(s.IDs))
+	for i, id := range s.IDs {
+		names[i] = elementName(id)
+	}
+	return names
+}
+
+// cosineMatrix computes the full cosine-similarity matrix between two sets
+// with one norm pass per set and the blocked kernel — entries are
+// bit-identical to per-pair linalg.CosineSimilarity.
+func cosineMatrix(a, b *embed.SignatureSet) *linalg.Dense {
+	an := linalg.RowNormsInto(make([]float64, a.Len()), a.Matrix)
+	bn := linalg.RowNormsInto(make([]float64, b.Len()), b.Matrix)
+	return linalg.CosineSimilaritiesInto(linalg.NewDense(a.Len(), b.Len()), a.Matrix, b.Matrix, an, bn)
 }

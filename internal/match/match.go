@@ -17,7 +17,6 @@ import (
 	"collabscope/internal/ann"
 	"collabscope/internal/cluster"
 	"collabscope/internal/embed"
-	"collabscope/internal/linalg"
 	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
@@ -70,16 +69,21 @@ type Sim struct {
 // Name implements Matcher.
 func (s Sim) Name() string { return fmt.Sprintf("SIM(%.1f)", s.Threshold) }
 
-// Match implements Matcher.
+// Match implements Matcher. The cosine matrix comes from the blocked
+// kernel with norms computed once per set; the kept pairs are identical to
+// the per-pair formulation.
 func (s Sim) Match(a, b *embed.SignatureSet) []Pair {
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil
+	}
+	cos := cosineMatrix(a, b)
 	var out []Pair
 	for i := 0; i < a.Len(); i++ {
 		for j := 0; j < b.Len(); j++ {
 			if a.IDs[i].Kind != b.IDs[j].Kind {
 				continue
 			}
-			cs := linalg.CosineSimilarity(a.Matrix.RowView(i), b.Matrix.RowView(j))
-			if cs >= s.Threshold {
+			if cos.At(i, j) >= s.Threshold {
 				out = append(out, Pair{A: a.IDs[i], B: b.IDs[j]}.Canonical())
 			}
 		}
@@ -179,8 +183,11 @@ func (l LSH) direction(queries, target *embed.SignatureSet, add func(Pair)) {
 	} else {
 		idx = ann.NewFlatIndex(target.Matrix)
 	}
+	var sc ann.Scratch
+	var hits []ann.Neighbor
 	for i := 0; i < queries.Len(); i++ {
-		for _, hit := range idx.Search(queries.Matrix.RowView(i), l.K) {
+		hits = idx.SearchInto(queries.Matrix.RowView(i), l.K, hits, &sc)
+		for _, hit := range hits {
 			add(Pair{A: queries.IDs[i], B: target.IDs[hit.Index]})
 		}
 	}

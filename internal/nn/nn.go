@@ -4,7 +4,11 @@
 // with ReLU activations trained on mean-squared error).
 //
 // Everything is deterministic: weight initialisation and mini-batch
-// shuffling derive from caller-provided seeds.
+// shuffling derive from caller-provided seeds. Training and batch scoring
+// run on the internal/linalg kernel layer — the forward pass is a
+// bias-initialised GEMM per layer, the backward pass a pair of GEMMs whose
+// accumulation order exactly matches per-sample backpropagation, so the
+// batched implementation produces bit-identical weights and scores.
 package nn
 
 import (
@@ -27,11 +31,11 @@ const (
 type layer struct {
 	in, out int
 	act     Activation
-	w       []float64 // out×in, row-major
-	b       []float64 // out
+	w       *linalg.Dense // out×in
+	b       []float64     // out
 
 	// Adam state.
-	mw, vw []float64
+	mw, vw *linalg.Dense
 	mb, vb []float64
 }
 
@@ -39,6 +43,7 @@ type layer struct {
 type Network struct {
 	layers []*layer
 	step   int
+	bsc    batchScratch
 }
 
 // LayerSpec describes one dense layer.
@@ -62,16 +67,19 @@ func NewNetwork(in int, seed int64, specs ...LayerSpec) *Network {
 		}
 		l := &layer{
 			in: prev, out: spec.Out, act: spec.Act,
-			w:  make([]float64, spec.Out*prev),
+			w:  linalg.NewDense(spec.Out, prev),
 			b:  make([]float64, spec.Out),
-			mw: make([]float64, spec.Out*prev),
-			vw: make([]float64, spec.Out*prev),
+			mw: linalg.NewDense(spec.Out, prev),
+			vw: linalg.NewDense(spec.Out, prev),
 			mb: make([]float64, spec.Out),
 			vb: make([]float64, spec.Out),
 		}
 		scale := math.Sqrt(2 / float64(prev))
-		for i := range l.w {
-			l.w[i] = rng.NormFloat64() * scale
+		for o := 0; o < spec.Out; o++ {
+			row := l.w.RowView(o)
+			for i := range row {
+				row[i] = rng.NormFloat64() * scale
+			}
 		}
 		n.layers = append(n.layers, l)
 		prev = spec.Out
@@ -102,25 +110,21 @@ func (n *Network) Forward(x []float64) []float64 {
 	}
 	a := x
 	for _, l := range n.layers {
-		a = l.forward(a, nil)
+		a = l.forward(a)
 	}
 	out := make([]float64, len(a))
 	copy(out, a)
 	return out
 }
 
-// forward computes the layer output; if pre is non-nil it receives the
-// pre-activation values (needed for backprop).
-func (l *layer) forward(x []float64, pre []float64) []float64 {
+// forward computes the single-sample layer output.
+func (l *layer) forward(x []float64) []float64 {
 	out := make([]float64, l.out)
 	for o := 0; o < l.out; o++ {
 		s := l.b[o]
-		row := l.w[o*l.in : (o+1)*l.in]
+		row := l.w.RowView(o)
 		for i, xi := range x {
 			s += row[i] * xi
-		}
-		if pre != nil {
-			pre[o] = s
 		}
 		if l.act == ReLU && s < 0 {
 			s = 0
@@ -128,6 +132,70 @@ func (l *layer) forward(x []float64, pre []float64) []float64 {
 		out[o] = s
 	}
 	return out
+}
+
+// ForwardScratch holds the per-layer activation matrices of ForwardBatch
+// so repeated batch scoring allocates nothing once warm. The zero value is
+// ready. A scratch must not be shared between concurrent calls.
+type ForwardScratch struct {
+	acts []*linalg.Dense
+}
+
+func (s *ForwardScratch) ensure(n *Network, rows int) {
+	if len(s.acts) != len(n.layers) {
+		s.acts = make([]*linalg.Dense, len(n.layers))
+	}
+	for li, l := range n.layers {
+		s.acts[li] = linalg.EnsureDense(s.acts[li], rows, l.out)
+	}
+}
+
+// ForwardBatch runs every row of x through the network with one
+// bias-initialised GEMM per layer and returns the final activation matrix
+// (owned by the scratch; valid until the next call). Row r of the result
+// is bit-identical to Forward(x.Row(r)).
+func (n *Network) ForwardBatch(x *linalg.Dense, sc *ForwardScratch) *linalg.Dense {
+	if x.Cols() != n.InputSize() {
+		panic(fmt.Sprintf("nn: batch input width %d, want %d", x.Cols(), n.InputSize()))
+	}
+	if len(n.layers) == 0 {
+		return x
+	}
+	if sc == nil {
+		sc = &ForwardScratch{}
+	}
+	sc.ensure(n, x.Rows())
+	in := x
+	for li, l := range n.layers {
+		out := sc.acts[li]
+		fillRows(out, l.b)
+		linalg.MulTransAccInto(out, in, l.w)
+		if l.act == ReLU {
+			clampNegative(out)
+		}
+		in = out
+	}
+	return in
+}
+
+// fillRows sets every row of m to v.
+func fillRows(m *linalg.Dense, v []float64) {
+	for r := 0; r < m.Rows(); r++ {
+		copy(m.RowView(r), v)
+	}
+}
+
+// clampNegative applies ReLU in place with the same s < 0 test as the
+// single-sample path (−0 is preserved, matching it bit for bit).
+func clampNegative(m *linalg.Dense) {
+	for r := 0; r < m.Rows(); r++ {
+		row := m.RowView(r)
+		for i, v := range row {
+			if v < 0 {
+				row[i] = 0
+			}
+		}
+	}
 }
 
 // TrainConfig controls AutoencoderTrainer-style SGD with Adam.
@@ -179,86 +247,127 @@ func (n *Network) Fit(x, y *linalg.Dense, cfg TrainConfig) float64 {
 	return lastLoss
 }
 
-// trainBatch accumulates gradients over the batch and applies one Adam step.
-// It returns the summed per-example MSE loss.
+// batchScratch holds the reusable matrices of trainBatch: gathered batch
+// rows, per-layer activations and deltas, and gradient accumulators. All
+// are resized via EnsureDense, so steady-state batches allocate nothing.
+type batchScratch struct {
+	xb, yb *linalg.Dense
+	acts   []*linalg.Dense // activation output of each layer
+	deltas []*linalg.Dense // loss gradient w.r.t. each layer's output
+	gw     []*linalg.Dense // weight gradients
+	gb     [][]float64     // bias gradients
+}
+
+func (s *batchScratch) ensure(n *Network, bs int) {
+	L := len(n.layers)
+	if len(s.acts) != L {
+		s.acts = make([]*linalg.Dense, L)
+		s.deltas = make([]*linalg.Dense, L)
+		s.gw = make([]*linalg.Dense, L)
+		s.gb = make([][]float64, L)
+	}
+	s.xb = linalg.EnsureDense(s.xb, bs, n.InputSize())
+	s.yb = linalg.EnsureDense(s.yb, bs, n.OutputSize())
+	for li, l := range n.layers {
+		s.acts[li] = linalg.EnsureDense(s.acts[li], bs, l.out)
+		s.deltas[li] = linalg.EnsureDense(s.deltas[li], bs, l.out)
+		if s.gw[li] == nil {
+			s.gw[li] = linalg.NewDense(l.out, l.in)
+			s.gb[li] = make([]float64, l.out)
+		}
+	}
+}
+
+// trainBatch accumulates gradients over the batch and applies one Adam
+// step, returning the summed per-example MSE loss. The batch runs as three
+// GEMM families per layer — bias-initialised forward (MulTransAccInto),
+// weight gradients (MulATBInto, ascending-sample rank-1 updates), and
+// delta back-projection (MulInto, ascending-unit accumulation) — each
+// matching the accumulation order of per-sample backpropagation exactly,
+// so losses, gradients, and updated weights are bit-identical to it.
 func (n *Network) trainBatch(x, y *linalg.Dense, batch []int, lr float64) float64 {
-	type grads struct {
-		w, b []float64
-	}
-	gs := make([]grads, len(n.layers))
-	for li, l := range n.layers {
-		gs[li] = grads{w: make([]float64, len(l.w)), b: make([]float64, len(l.b))}
+	bs := len(batch)
+	L := len(n.layers)
+	sc := &n.bsc
+	sc.ensure(n, bs)
+	for r, row := range batch {
+		copy(sc.xb.RowView(r), x.RowView(row))
+		copy(sc.yb.RowView(r), y.RowView(row))
 	}
 
+	// Forward.
+	in := sc.xb
+	for li, l := range n.layers {
+		out := sc.acts[li]
+		fillRows(out, l.b)
+		linalg.MulTransAccInto(out, in, l.w)
+		if l.act == ReLU {
+			clampNegative(out)
+		}
+		in = out
+	}
+
+	// Output delta and loss: dL/dout for MSE = 2(out − target)/d, folded in
+	// ascending sample-then-dimension order.
+	out := sc.acts[L-1]
+	dOut := sc.deltas[L-1]
+	invDim := 1 / float64(n.OutputSize())
 	var loss float64
-	acts := make([][]float64, len(n.layers)+1)
-	pres := make([][]float64, len(n.layers))
-	for li, l := range n.layers {
-		pres[li] = make([]float64, l.out)
-	}
-
-	for _, row := range batch {
-		acts[0] = x.RowView(row)
-		for li, l := range n.layers {
-			acts[li+1] = l.forward(acts[li], pres[li])
-		}
-		out := acts[len(n.layers)]
-		target := y.RowView(row)
-
-		// dL/dout for MSE = 2(out − target)/d.
-		d := make([]float64, len(out))
-		invDim := 1 / float64(len(out))
-		for i := range out {
-			diff := out[i] - target[i]
+	for s := 0; s < bs; s++ {
+		or, tr, dr := out.RowView(s), sc.yb.RowView(s), dOut.RowView(s)
+		for i := range or {
+			diff := or[i] - tr[i]
 			loss += diff * diff * invDim
-			d[i] = 2 * diff * invDim
-		}
-
-		// Backpropagate.
-		for li := len(n.layers) - 1; li >= 0; li-- {
-			l := n.layers[li]
-			if l.act == ReLU {
-				for o := range d {
-					if pres[li][o] <= 0 {
-						d[o] = 0
-					}
-				}
-			}
-			in := acts[li]
-			g := gs[li]
-			for o := 0; o < l.out; o++ {
-				do := d[o]
-				if do == 0 {
-					continue
-				}
-				g.b[o] += do
-				wrow := g.w[o*l.in : (o+1)*l.in]
-				for i, xi := range in {
-					wrow[i] += do * xi
-				}
-			}
-			if li > 0 {
-				prev := make([]float64, l.in)
-				for o := 0; o < l.out; o++ {
-					do := d[o]
-					if do == 0 {
-						continue
-					}
-					wrow := l.w[o*l.in : (o+1)*l.in]
-					for i := range prev {
-						prev[i] += do * wrow[i]
-					}
-				}
-				d = prev
-			}
+			dr[i] = 2 * diff * invDim
 		}
 	}
 
-	inv := 1 / float64(len(batch))
+	// Backward.
+	for li := L - 1; li >= 0; li-- {
+		l := n.layers[li]
+		d := sc.deltas[li]
+		if l.act == ReLU {
+			// Zero the delta where the unit was inactive. The clamped
+			// activation is ≤ 0 exactly when the pre-activation was, so no
+			// pre-activation storage is needed.
+			a := sc.acts[li]
+			for s := 0; s < bs; s++ {
+				ar, dr := a.RowView(s), d.RowView(s)
+				for o, v := range ar {
+					if v <= 0 {
+						dr[o] = 0
+					}
+				}
+			}
+		}
+		inAct := sc.xb
+		if li > 0 {
+			inAct = sc.acts[li-1]
+		}
+		linalg.MulATBInto(sc.gw[li], d, inAct)
+		gb := sc.gb[li]
+		for o := range gb {
+			gb[o] = 0
+		}
+		for s := 0; s < bs; s++ {
+			for o, v := range d.RowView(s) {
+				if v != 0 {
+					gb[o] += v
+				}
+			}
+		}
+		if li > 0 {
+			linalg.MulInto(sc.deltas[li-1], d, l.w)
+		}
+	}
+
+	inv := 1 / float64(bs)
 	n.step++
 	for li, l := range n.layers {
-		adamStep(l.w, gs[li].w, l.mw, l.vw, lr, inv, n.step)
-		adamStep(l.b, gs[li].b, l.mb, l.vb, lr, inv, n.step)
+		for o := 0; o < l.out; o++ {
+			adamStep(l.w.RowView(o), sc.gw[li].RowView(o), l.mw.RowView(o), l.vw.RowView(o), lr, inv, n.step)
+		}
+		adamStep(l.b, sc.gb[li], l.mb, l.vb, lr, inv, n.step)
 	}
 	return loss
 }
@@ -307,10 +416,13 @@ func (a *Autoencoder) Fit(x *linalg.Dense, cfg TrainConfig) float64 {
 // ReconstructionErrors returns the per-row MSE between each row of x and
 // its reconstruction.
 func (a *Autoencoder) ReconstructionErrors(x *linalg.Dense) []float64 {
-	out := make([]float64, x.Rows())
-	for i := 0; i < x.Rows(); i++ {
-		rec := a.net.Forward(x.RowView(i))
-		out[i] = linalg.MSE(x.RowView(i), rec)
-	}
-	return out
+	return a.ReconstructionErrorsInto(x, make([]float64, x.Rows()), nil)
+}
+
+// ReconstructionErrorsInto scores every row with one batched forward pass,
+// writing into dst (length x.Rows()). With a non-nil warm scratch the call
+// allocates nothing; values are bit-identical to per-row Forward + MSE.
+func (a *Autoencoder) ReconstructionErrorsInto(x *linalg.Dense, dst []float64, sc *ForwardScratch) []float64 {
+	rec := a.net.ForwardBatch(x, sc)
+	return linalg.RowMSEInto(dst, x, rec)
 }

@@ -128,12 +128,106 @@ func TestDefaultTrainConfig(t *testing.T) {
 func TestReLUForward(t *testing.T) {
 	n := NewNetwork(1, 1, LayerSpec{Out: 1, Act: ReLU})
 	// Force known weights.
-	n.layers[0].w[0] = 1
+	n.layers[0].w.Set(0, 0, 1)
 	n.layers[0].b[0] = 0
 	if got := n.Forward([]float64{-5})[0]; got != 0 {
 		t.Fatalf("ReLU(-5) = %v", got)
 	}
 	if got := n.Forward([]float64{3})[0]; got != 3 {
 		t.Fatalf("ReLU(3) = %v", got)
+	}
+}
+
+func TestForwardBatchMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := NewNetwork(6, 21, LayerSpec{Out: 5, Act: ReLU}, LayerSpec{Out: 3, Act: Linear})
+	x := linalg.NewDense(9, 6)
+	for i := 0; i < x.Rows(); i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	var sc ForwardScratch
+	out := n.ForwardBatch(x, &sc)
+	for i := 0; i < x.Rows(); i++ {
+		want := n.Forward(x.RowView(i))
+		got := out.RowView(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d col %d: batch %v, single %v (must be bit-identical)", i, j, got[j], want[j])
+			}
+		}
+	}
+	// Reusing the scratch must reproduce the same values.
+	out2 := n.ForwardBatch(x, &sc)
+	for i := 0; i < x.Rows(); i++ {
+		a, b := out.RowView(i), out2.RowView(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("scratch reuse changed output at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestReconstructionErrorsIntoMatchesAndAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dim := 8
+	x := linalg.NewDense(24, dim)
+	for i := 0; i < x.Rows(); i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	ae := NewAutoencoder(dim, 13, 4, 4)
+	ae.Fit(x, TrainConfig{Epochs: 3, BatchSize: 8, LearnRate: 0.01, Seed: 5})
+
+	want := ae.ReconstructionErrors(x)
+	dst := make([]float64, x.Rows())
+	var sc ForwardScratch
+	got := ae.ReconstructionErrorsInto(x, dst, &sc)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("errs[%d]: Into %v, plain %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+
+	// Steady state: warmed scratch plus caller-owned dst means zero allocations.
+	if allocs := testing.AllocsPerRun(100, func() {
+		ae.ReconstructionErrorsInto(x, dst, &sc)
+	}); allocs != 0 {
+		t.Fatalf("ReconstructionErrorsInto allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestFitBatchedIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := linalg.NewDense(64, 4)
+	y := linalg.NewDense(64, 2)
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y.Set(i, 0, x.At(i, 0)+x.At(i, 1))
+		y.Set(i, 1, x.At(i, 2)-x.At(i, 3))
+	}
+	cfg := TrainConfig{Epochs: 20, BatchSize: 16, LearnRate: 0.01, Seed: 7}
+	a := NewNetwork(4, 3, LayerSpec{Out: 6, Act: ReLU}, LayerSpec{Out: 2, Act: Linear})
+	b := NewNetwork(4, 3, LayerSpec{Out: 6, Act: ReLU}, LayerSpec{Out: 2, Act: Linear})
+	la, lb := a.Fit(x, y, cfg), b.Fit(x, y, cfg)
+	if la != lb {
+		t.Fatalf("same seed, same data: losses %v vs %v (must be bit-identical)", la, lb)
+	}
+	probe := []float64{0.3, -0.7, 1.1, 0.2}
+	oa, ob := a.Forward(probe), b.Forward(probe)
+	for j := range oa {
+		if oa[j] != ob[j] {
+			t.Fatalf("trained nets diverge at output %d: %v vs %v", j, oa[j], ob[j])
+		}
+	}
+	if la > 1.0 {
+		t.Fatalf("loss after 20 epochs = %v, training is not converging", la)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"collabscope/internal/linalg"
 	"collabscope/internal/parallel"
@@ -40,9 +39,15 @@ func (d KNNDistance) Scores(x *linalg.Dense) []float64 {
 	return out
 }
 
-// ScoresContext implements ContextDetector. The per-point neighbour scans
-// fan out over the pool; each worker owns its point's score slot, so the
-// scores are identical for any worker count.
+// ScoresContext implements ContextDetector. The distance matrix comes from
+// the symmetric pairwise kernel; per point, the k nearest neighbours are
+// selected with the bounded-heap top-k kernel over the full row — the k+1
+// smallest entries necessarily include the point itself (distance 0), which
+// is dropped, or, when k+1 exact duplicates rank ahead of it, the worst
+// survivor is dropped instead. Either way the summed values are exactly the
+// k smallest neighbour distances in ascending order, so the scores are
+// bit-identical to the sort-based formulation and identical for any worker
+// count.
 func (d KNNDistance) ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([]float64, error) {
 	n := x.Rows()
 	out := make([]float64, n)
@@ -53,17 +58,21 @@ func (d KNNDistance) ScoresContext(ctx context.Context, workers int, x *linalg.D
 	if k >= n {
 		k = n - 1
 	}
+	dist := linalg.NewDense(n, n)
+	if err := linalg.ParallelPairwiseDistancesInto(ctx, workers, dist, x, x); err != nil {
+		return nil, err
+	}
 	err := parallel.ForEach(ctx, workers, n, func(i int) error {
-		dists := make([]float64, 0, n-1)
-		for j := 0; j < n; j++ {
-			if j != i {
-				dists = append(dists, linalg.Distance(x.RowView(i), x.RowView(j)))
-			}
-		}
-		sort.Float64s(dists)
+		row := dist.RowView(i)
+		sel := linalg.TopKInto(row, k+1, nil)
 		var sum float64
-		for _, v := range dists[:k] {
-			sum += v
+		kept := 0
+		for _, j := range sel {
+			if j == i || kept == k {
+				continue
+			}
+			sum += row[j]
+			kept++
 		}
 		out[i] = sum / float64(k)
 		return nil
@@ -111,7 +120,8 @@ func (m Mahalanobis) ScoresContext(ctx context.Context, workers int, x *linalg.D
 	mean := x.ColMean()
 	centered := x.SubRow(mean)
 	dec := linalg.ComputeSVD(centered)
-	proj := centered.Mul(dec.V) // n×r scores in the principal basis
+	// n×r scores in the principal basis, via the blocked GEMM kernel.
+	proj := linalg.MulInto(linalg.NewDense(centered.Rows(), dec.V.Cols()), centered, dec.V)
 
 	avgVar := 0.0
 	vars := make([]float64, len(dec.S))

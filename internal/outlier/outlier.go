@@ -121,29 +121,24 @@ func (l LOF) ScoresContext(ctx context.Context, workers int, x *linalg.Dense) ([
 		return out, ctx.Err()
 	}
 
-	// Pairwise distances. Worker i fills the upper-triangle row i and
-	// mirrors it; each (i, j) cell is written exactly once.
+	// Pairwise distances through the symmetric row-blocked kernel: worker i
+	// fills the upper-triangle row i and mirrors it; each (i, j) cell is
+	// written exactly once, with values identical to per-pair
+	// linalg.Distance.
+	distM := linalg.NewDense(n, n)
+	if err := linalg.ParallelPairwiseDistancesInto(ctx, workers, distM, x, x); err != nil {
+		return nil, err
+	}
 	dist := make([][]float64, n)
 	for i := range dist {
-		dist[i] = make([]float64, n)
-	}
-	err := parallel.ForEach(ctx, workers, n, func(i int) error {
-		for j := i + 1; j < n; j++ {
-			d := linalg.Distance(x.RowView(i), x.RowView(j))
-			dist[i][j] = d
-			dist[j][i] = d
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		dist[i] = distM.RowView(i)
 	}
 
 	// k-distance and k-neighbourhood (all points within k-distance,
 	// honouring ties as in the original definition).
 	kdist := make([]float64, n)
 	neigh := make([][]int, n)
-	err = parallel.ForEach(ctx, workers, n, func(i int) error {
+	err := parallel.ForEach(ctx, workers, n, func(i int) error {
 		idx := make([]int, 0, n-1)
 		for j := 0; j < n; j++ {
 			if j != i {
