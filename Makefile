@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzz-smoke chaos ci bench bench-parallel bench-json bench-diff lintobs cover
+.PHONY: all build test race vet fmt fuzz-smoke chaos ci bench bench-parallel bench-json bench-diff lintobs cover serve-smoke
 
 all: build
 
@@ -63,6 +63,13 @@ bench-json:
 #	make bench-json BENCH_OUT=BENCH_tables.json
 bench-diff: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_tables.json -current $(BENCH_OUT)
+
+# serve-smoke boots the scoping service end to end: upload through
+# POST /v1/models into a persistent registry, assess through
+# POST /v1/assess, restart over the same registry (verdicts must
+# reproduce), and scrape /v1/metrics.
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
 
 # lintobs enforces the repo's timing discipline: time.Now belongs to
 # internal/obs (Stopwatch) so hot paths stay instrumentable and the

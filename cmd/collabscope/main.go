@@ -9,17 +9,23 @@
 //	collabscope scope  -method global -detector pca:0.5 -p 0.7 s1.sql s2.sql
 //	collabscope match  -matcher lsh:5 [-scope 0.8] s1.sql s2.sql ...
 //	collabscope eval   -truth links.json -matcher sim:0.6 -v 0.8 s1.sql s2.sql
-//	collabscope serve  -addr 127.0.0.1:8080 -v 0.8 [-pprof] s1.sql
+//	collabscope serve  -addr 127.0.0.1:8080 -v 0.8 [-registry dir] [-pprof] s1.sql
 //	collabscope fetch  -peers http://host1:8080,http://host2:8080 [-out dir]
 //	collabscope assess -peers http://host1:8080 s1.sql
+//	collabscope assess -server http://hub:8080 [-tenant t] s1.sql
+//	collabscope push   -server http://hub:8080 -models a.model.json,b.model.json
 //
 // Schema files ending in .sql are parsed as CREATE TABLE DDL (the schema is
 // named after the file); .json files use the schema JSON format.
 //
-// serve trains the given schemas' models and publishes them over HTTP at
-// /models/<schema> (wire format v1, content-hash ETags); fetch harvests
-// peers' models to files, tolerating flaky peers; assess accepts either
-// -models files, -peers hubs, or both.
+// serve runs the scoping service: it trains the given schemas' models (if
+// any), publishes them at /v1/models/<schema> (wire format v1, content-hash
+// ETags; /models/<schema> stays as an alias), accepts model uploads at
+// POST /v1/models, and answers linkability queries at POST /v1/assess —
+// with -registry, the uploaded registry survives restarts. fetch harvests
+// peers' models to files, tolerating flaky peers; assess accepts -models
+// files, -peers hubs, a -server scoping service, or a mix; push uploads
+// trained model files into a running service's registry.
 package main
 
 import (
@@ -62,47 +68,94 @@ func main() {
 		runServe(args)
 	case "fetch":
 		runFetch(args)
+	case "push":
+		runPush(args)
 	default:
 		usage()
 	}
 }
 
-// runServe implements the hub side of the distributed workflow: train the
-// local model(s) and publish them over HTTP for peers to fetch.
+// runServe runs the scoping service: train the local model(s), publish
+// them, and serve the /v1 API (uploads, assess hot path, metrics) until
+// killed. With -registry, uploads and published models survive restarts.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	v := fs.Float64("v", 0.8, "global explained variance")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	registry := fs.String("registry", "", "persist the model registry in this directory (survives restarts)")
+	queue := fs.Int("queue", 0, "max concurrent assess computations before 429 load shedding (default 64)")
+	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight assess cap (default: -queue)")
 	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
+	if len(fs.Args()) == 0 && *registry == "" {
+		fatalf("no schema files given (serving an empty registry needs -registry so uploads persist)")
+	}
 
-	schemas := loadSchemas(fs.Args())
 	reg := collabscope.NewMetrics()
 	pipe := newPipeline(*dim, *workers, collabscope.WithMetrics(reg))
 	var models []*collabscope.Model
-	for _, s := range schemas {
+	for _, s := range loadSchemasOptional(fs.Args()) {
 		m, err := pipe.TrainModel(s, *v)
 		fatal(err)
 		models = append(models, m)
 		fmt.Printf("trained %s: %d components at v=%.2f, linkability range %.4g\n",
 			s.Name, m.Components(), *v, m.Range)
 	}
-	handler, err := collabscope.NewModelServer(models...)
-	fatal(err)
-	handler.SetMetrics(reg)
-	if *pprofFlag {
-		handler.EnablePprof()
+	opts := []collabscope.ServerOption{
+		collabscope.WithServerModels(models...),
+		collabscope.WithServerMetrics(reg),
+		collabscope.WithServerAdmission(collabscope.AdmissionConfig{
+			QueueDepth: *queue, TenantQuota: *tenantQuota,
+		}),
 	}
+	if *workers > 0 {
+		opts = append(opts, collabscope.WithServerWorkers(*workers))
+	}
+	if *registry != "" {
+		opts = append(opts, collabscope.WithServerRegistry(*registry))
+	}
+	if *pprofFlag {
+		opts = append(opts, collabscope.WithServerPprof())
+	}
+	handler, err := collabscope.NewScopingServer(opts...)
+	fatal(err)
 	ln, err := net.Listen("tcp", *addr)
 	fatal(err)
-	fmt.Printf("serving %d model(s) at http://%s/models\n", len(models), ln.Addr())
-	fmt.Printf("metrics snapshot at http://%s/metrics (view with `collabscope stats -metrics http://%s/metrics`)\n",
+	fmt.Printf("serving %d model(s) at http://%s/v1/models (assess at POST http://%s/v1/assess)\n",
+		len(handler.Schemas()), ln.Addr(), ln.Addr())
+	fmt.Printf("metrics snapshot at http://%s/v1/metrics (view with `collabscope stats -metrics http://%s/v1/metrics`)\n",
 		ln.Addr(), ln.Addr())
+	if *registry != "" {
+		fmt.Printf("registry persisted in %s\n", *registry)
+	}
 	if *pprofFlag {
 		fmt.Printf("pprof enabled at http://%s/debug/pprof/\n", ln.Addr())
 	}
 	fatal(http.Serve(ln, handler))
+}
+
+// runPush uploads trained model files into a running service's registry.
+func runPush(args []string) {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	server := fs.String("server", "", "scoping service base URL (required)")
+	modelsArg := fs.String("models", "", "comma-separated model files to upload (required)")
+	tenant := fs.String("tenant", "", "tenant namespace (default: the hub's default tenant)")
+	fs.Parse(args)
+	if *server == "" || *modelsArg == "" {
+		fatalf("-server and -models are required")
+	}
+	pipe := collabscope.New()
+	for _, path := range strings.Split(*modelsArg, ",") {
+		fh, err := os.Open(strings.TrimSpace(path))
+		fatal(err)
+		m, err := collabscope.ReadModelJSON(fh)
+		fatal(err)
+		fatal(fh.Close())
+		fatal(pipe.UploadModel(context.Background(), *server, *tenant, m))
+		fmt.Printf("uploaded %s (%d components, range %.4g) -> %s\n",
+			m.Schema, m.Components(), m.Range, *server)
+	}
 }
 
 // runFetch implements the consumer side: harvest peers' models into files,
@@ -167,7 +220,7 @@ func runSuggest(args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: collabscope <stats|scope|match|eval|train|assess|integrate|suggest|serve|fetch> [flags] schema files...")
+	fmt.Fprintln(os.Stderr, "usage: collabscope <stats|scope|match|eval|train|assess|integrate|suggest|serve|fetch|push> [flags] schema files...")
 	os.Exit(2)
 }
 
@@ -235,55 +288,78 @@ func runAssess(args []string) {
 	fs := flag.NewFlagSet("assess", flag.ExitOnError)
 	modelsArg := fs.String("models", "", "comma-separated foreign model files")
 	peersArg := fs.String("peers", "", "comma-separated peer base URLs to fetch foreign models from")
+	server := fs.String("server", "", "scoping service base URL: assess via its POST /v1/assess hot path")
+	tenant := fs.String("tenant", "", "tenant namespace for -server (default: the hub's default tenant)")
 	out := fs.String("out", "", "write the streamlined schema as JSON to this file")
 	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
-	if *modelsArg == "" && *peersArg == "" {
-		fatalf("-models or -peers is required")
+	if *modelsArg == "" && *peersArg == "" && *server == "" {
+		fatalf("-models, -peers or -server is required")
 	}
 
 	schemas := loadSchemas(fs.Args())
 	if len(schemas) != 1 {
 		fatalf("assess expects exactly one schema file")
 	}
-	var models []*collabscope.Model
-	if *modelsArg != "" {
-		for _, path := range strings.Split(*modelsArg, ",") {
-			fh, err := os.Open(strings.TrimSpace(path))
-			fatal(err)
-			m, err := collabscope.ReadModelJSON(fh)
-			fatal(err)
-			fatal(fh.Close())
-			models = append(models, m)
+	local := schemas[0]
+	pipe := newPipeline(*dim, *workers)
+
+	// Service-side assessment: signatures travel to the hub, which runs
+	// Algorithm 2 against its registry. Otherwise models are gathered
+	// locally (files and/or peer fetches) and assessed in process. Either
+	// way the result is the shared Assessment shape, rendered identically.
+	var assessment *collabscope.Assessment
+	if *server != "" {
+		if *modelsArg != "" || *peersArg != "" {
+			fatalf("-server assesses against the hub's registry; it cannot be mixed with -models/-peers")
 		}
+		res, err := pipe.AssessServer(context.Background(), local, *server, *tenant)
+		fatal(err)
+		if len(res.Used) == 0 {
+			fatalf("the hub holds no foreign models for %s (upload some with `collabscope push`)", local.Name)
+		}
+		assessment = &res.Assessment
+	} else {
+		var models []*collabscope.Model
+		if *modelsArg != "" {
+			for _, path := range strings.Split(*modelsArg, ",") {
+				fh, err := os.Open(strings.TrimSpace(path))
+				fatal(err)
+				m, err := collabscope.ReadModelJSON(fh)
+				fatal(err)
+				fatal(fh.Close())
+				models = append(models, m)
+			}
+		}
+		if *peersArg != "" {
+			fetched, failed := pipe.FetchModels(context.Background(), splitPeers(*peersArg))
+			for _, pe := range failed {
+				fmt.Fprintf(os.Stderr, "collabscope: peer failed, assessing without it: %s\n", pe)
+			}
+			models = append(models, fetched...)
+		}
+		// Drop any model published under the local schema's own name:
+		// Algorithm 2 assesses against foreign models only.
+		foreign := models[:0]
+		var used []string
+		for _, m := range models {
+			if m.Schema != local.Name {
+				foreign = append(foreign, m)
+				used = append(used, m.Schema)
+			}
+		}
+		if len(foreign) == 0 {
+			fatalf("no foreign models available (all peers failed?)")
+		}
+		assessment = &collabscope.Assessment{Verdicts: pipe.Assess(local, foreign), Used: used}
 	}
 
-	pipe := newPipeline(*dim, *workers)
-	if *peersArg != "" {
-		fetched, failed := pipe.FetchModels(context.Background(), splitPeers(*peersArg))
-		for _, pe := range failed {
-			fmt.Fprintf(os.Stderr, "collabscope: peer failed, assessing without it: %s\n", pe)
-		}
-		models = append(models, fetched...)
-	}
-	// Drop any model published under the local schema's own name: Algorithm 2
-	// assesses against foreign models only.
-	foreign := models[:0]
-	for _, m := range models {
-		if m.Schema != schemas[0].Name {
-			foreign = append(foreign, m)
-		}
-	}
-	if len(foreign) == 0 {
-		fatalf("no foreign models available (all peers failed?)")
-	}
-	verdicts := pipe.Assess(schemas[0], foreign)
-	streamlined := schemas[0].Subset(verdicts)
-	fmt.Printf("%s: %d -> %d elements\n", schemas[0].Name,
-		schemas[0].NumElements(), streamlined.NumElements())
-	for _, id := range schemas[0].ElementIDs() {
-		if !verdicts[id] {
-			fmt.Printf("  pruned %s\n", id)
+	streamlined := local.Subset(assessment.Verdicts)
+	fmt.Printf("%s: %d -> %d elements (assessed against %s)\n", local.Name,
+		local.NumElements(), streamlined.NumElements(), strings.Join(assessment.Used, ", "))
+	for _, v := range assessment.List() {
+		if !v.Linkable {
+			fmt.Printf("  pruned %s\n", v.Element)
 		}
 	}
 	if *out != "" {
@@ -299,6 +375,13 @@ func loadSchemas(paths []string) []*collabscope.Schema {
 	if len(paths) == 0 {
 		fatalf("no schema files given")
 	}
+	return loadSchemasOptional(paths)
+}
+
+// loadSchemasOptional is loadSchemas for subcommands where zero schema
+// files is legitimate (`serve -registry` starts from the persisted
+// registry alone).
+func loadSchemasOptional(paths []string) []*collabscope.Schema {
 	var out []*collabscope.Schema
 	for _, p := range paths {
 		data, err := os.ReadFile(p)

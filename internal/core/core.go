@@ -168,6 +168,10 @@ func componentSlice(full *linalg.PCA, n int) *linalg.Dense {
 // Components returns the number of retained principal components.
 func (m *Model) Components() int { return m.pca.NComp }
 
+// Dim returns the signature dimensionality the model was trained on —
+// the width signatures must have to be assessed against it.
+func (m *Model) Dim() int { return len(m.pca.Mean) }
+
 // Errors returns the reconstruction MSE of each signature row under this
 // model's encoder-decoder — the outlier scores of Definition 4.
 func (m *Model) Errors(x *linalg.Dense) []float64 {

@@ -20,11 +20,11 @@ import (
 // harvest arrives intact.
 func TestChaosFetchAllPartialUnderPeerStall(t *testing.T) {
 	leakcheck.Guard(t)
-	healthy, err := NewServer(testModel(t, "Good"))
+	healthy, err := NewServer(WithModels(testModel(t, "Good")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	stalled, err := NewServer(testModel(t, "Stall"))
+	stalled, err := NewServer(WithModels(testModel(t, "Stall")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestChaosFetchAllPartialUnderPeerStall(t *testing.T) {
 // before the stall (or any retry schedule) would.
 func TestChaosCancellationUnderInjectedDelay(t *testing.T) {
 	leakcheck.Guard(t)
-	srv, err := NewServer(testModel(t, "Slow"))
+	srv, err := NewServer(WithModels(testModel(t, "Slow")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestChaosCancellationUnderInjectedDelay(t *testing.T) {
 func TestChaosCorruptionCaughtByChecksum(t *testing.T) {
 	leakcheck.Guard(t)
 	for _, site := range []string{"exchange.server.body", "exchange.client.body"} {
-		srv, err := NewServer(testModel(t, "S1"))
+		srv, err := NewServer(WithModels(testModel(t, "S1")))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func TestChaosCorruptionCaughtByChecksum(t *testing.T) {
 // request serves the model on the retry.
 func TestChaosInjectedServerErrorIsRetried(t *testing.T) {
 	leakcheck.Guard(t)
-	srv, err := NewServer(testModel(t, "Flaky"))
+	srv, err := NewServer(WithModels(testModel(t, "Flaky")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestChaosInjectedServerErrorIsRetried(t *testing.T) {
 // final error wraps faultinject.ErrInjected.
 func TestChaosClientRequestFaultSurfacesInjectedSentinel(t *testing.T) {
 	leakcheck.Guard(t)
-	srv, err := NewServer(testModel(t, "S1"))
+	srv, err := NewServer(WithModels(testModel(t, "S1")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestBackoffScheduleDeterministicWithInjectedRand(t *testing.T) {
 		)
 		out := make([]time.Duration, 0, 5)
 		for attempt := 1; attempt <= 5; attempt++ {
-			out = append(out, c.backoff(attempt))
+			out = append(out, c.backoff(attempt, nil))
 		}
 		return out
 	}

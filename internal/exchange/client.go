@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -190,6 +191,10 @@ func (c *Client) corrupt(site string, b []byte) []byte {
 type statusError struct {
 	code int
 	body string
+	// retryAfter is the server's Retry-After advice (zero when absent).
+	// The retry loop honours it as a floor under its own backoff, so a
+	// load-shedding hub (429) is not hammered faster than it asked for.
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string {
@@ -230,26 +235,45 @@ func (c *Client) count(peer, name string) {
 	}
 }
 
+// request describes one exchange round trip for the retry loop.
+type request struct {
+	method string
+	url    string
+	// inm, when non-empty, is sent as If-None-Match (GET revalidation).
+	inm string
+	// tenant, when non-empty, is sent as the tenant header (/v1 routes).
+	tenant string
+	// payload, when non-nil, is the request body (POST).
+	payload []byte
+}
+
 // get fetches a URL with per-attempt timeouts and capped exponential
 // backoff with jitter, returning the body and the response ETag. A non-empty
 // inm is sent as If-None-Match; a 304 answer then returns notModified=true
 // with no body — a success, not a retryable failure, and never part of the
 // retry bookkeeping.
 func (c *Client) get(ctx context.Context, rawURL, inm string) (body []byte, etag string, notModified bool, err error) {
+	return c.do(ctx, request{method: http.MethodGet, url: rawURL, inm: inm})
+}
+
+// do runs one request through the retry loop: per-attempt timeouts, capped
+// exponential backoff with jitter, and the server's Retry-After advice as
+// a floor under the backoff.
+func (c *Client) do(ctx context.Context, rq request) (body []byte, etag string, notModified bool, err error) {
 	peer := ""
 	if c.reg != nil {
-		peer = peerPrefix(rawURL)
+		peer = peerPrefix(rq.url)
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.count(peer, "retries")
-			if serr := sleepContext(ctx, c.backoff(attempt)); serr != nil {
+			if serr := sleepContext(ctx, c.backoff(attempt, lastErr)); serr != nil {
 				return nil, "", false, fmt.Errorf("giving up after %d attempts: %w (last error: %v)", attempt, serr, lastErr)
 			}
 		}
 		sw := c.reg.Clock()
-		body, etag, notModified, lastErr = c.once(ctx, rawURL, inm)
+		body, etag, notModified, lastErr = c.once(ctx, rq)
 		c.reg.Histogram("exchange.request").ObserveSince(sw)
 		if peer != "" {
 			c.reg.Histogram(peer + "request").ObserveSince(sw)
@@ -270,31 +294,45 @@ func (c *Client) get(ctx context.Context, rawURL, inm string) (body []byte, etag
 // "exchange.client.request" (error/delay before the attempt) and
 // "exchange.client.body" (response corruption, caught downstream by the
 // wire format's hash trailer) are fault-injection hook points.
-func (c *Client) once(ctx context.Context, rawURL, inm string) ([]byte, string, bool, error) {
+func (c *Client) once(ctx context.Context, rq request) ([]byte, string, bool, error) {
 	if err := c.hit("exchange.client.request"); err != nil {
 		return nil, "", false, err
 	}
 	actx, cancel := context.WithTimeout(ctx, c.policy.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
+	var rd io.Reader
+	if rq.payload != nil {
+		rd = bytes.NewReader(rq.payload)
+	}
+	req, err := http.NewRequestWithContext(actx, rq.method, rq.url, rd)
 	if err != nil {
 		return nil, "", false, err
 	}
 	req.Header.Set("Accept", "application/json")
-	if inm != "" {
-		req.Header.Set("If-None-Match", inm)
+	if rq.payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if rq.inm != "" {
+		req.Header.Set("If-None-Match", rq.inm)
+	}
+	if rq.tenant != "" {
+		req.Header.Set(TenantHeader, rq.tenant)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, "", false, err
 	}
 	defer resp.Body.Close()
-	if inm != "" && resp.StatusCode == http.StatusNotModified {
+	if rq.inm != "" && resp.StatusCode == http.StatusNotModified {
 		return nil, "", true, nil
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, "", false, &statusError{code: resp.StatusCode, body: string(snippet)}
+		return nil, "", false, &statusError{
+			code:       resp.StatusCode,
+			body:       string(snippet),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
 	if err != nil {
@@ -306,10 +344,22 @@ func (c *Client) once(ctx context.Context, rawURL, inm string) ([]byte, string, 
 	return c.corrupt("exchange.client.body", body), resp.Header.Get("ETag"), false, nil
 }
 
+// parseRetryAfter reads the delay-seconds form of Retry-After (the form
+// the exchange server emits). HTTP-date values are ignored.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // backoff returns the jittered delay before retry number attempt (≥ 1):
 // BaseDelay·2^(attempt−1) capped at MaxDelay, then jittered uniformly over
-// [delay/2, delay].
-func (c *Client) backoff(attempt int) time.Duration {
+// [delay/2, delay]. A Retry-After advised by the server on the previous
+// attempt raises the floor (itself capped at MaxDelay, so a hostile hub
+// cannot stall the client arbitrarily).
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
 	delay := c.policy.BaseDelay
 	for i := 1; i < attempt && delay < c.policy.MaxDelay; i++ {
 		delay *= 2
@@ -318,7 +368,18 @@ func (c *Client) backoff(attempt int) time.Duration {
 		delay = c.policy.MaxDelay
 	}
 	half := delay / 2
-	return half + c.randN(delay-half+1)
+	d := half + c.randN(delay-half+1)
+	var se *statusError
+	if errors.As(lastErr, &se) && se.retryAfter > 0 {
+		floor := se.retryAfter
+		if floor > c.policy.MaxDelay {
+			floor = c.policy.MaxDelay
+		}
+		if d < floor {
+			d = floor
+		}
+	}
+	return d
 }
 
 func sleepContext(ctx context.Context, d time.Duration) error {
@@ -429,6 +490,62 @@ func (c *Client) FetchPeer(ctx context.Context, base string) ([]*core.Model, err
 		return models, fmt.Errorf("model(s) failed: %s", strings.Join(failures, "; "))
 	}
 	return models, nil
+}
+
+// Upload publishes a model into a hub's registry via POST /v1/models
+// (tenant "" means the default namespace). The hub validates the wire
+// checksum server-side; the returned ETag is cross-checked against the
+// local fingerprint, so a payload corrupted in transit cannot be silently
+// registered.
+func (c *Client) Upload(ctx context.Context, base, tenant string, m *core.Model) (*UploadResponse, error) {
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("serialise model %q: %w", m.Schema, err)
+	}
+	base = strings.TrimSuffix(base, "/")
+	body, _, _, err := c.do(ctx, request{
+		method: http.MethodPost, url: base + "/v1/models", tenant: tenant, payload: buf.Bytes(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("upload model %q: %w", m.Schema, err)
+	}
+	var ur UploadResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		return nil, fmt.Errorf("decode upload response: %w", err)
+	}
+	fp, err := m.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if got := strings.Trim(ur.ETag, `"`); got != fp {
+		return nil, fmt.Errorf("hub registered ETag %q, local fingerprint is %.12s…", ur.ETag, fp)
+	}
+	return &ur, nil
+}
+
+// Assess posts one linkability query to a hub's POST /v1/assess hot path
+// (tenant "" means the default namespace). Shed responses (429) are
+// retried under the policy, honouring the hub's Retry-After advice.
+func (c *Client) Assess(ctx context.Context, base, tenant string, req *AssessRequest) (*AssessResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode assess request: %w", err)
+	}
+	base = strings.TrimSuffix(base, "/")
+	body, _, _, err := c.do(ctx, request{
+		method: http.MethodPost, url: base + "/v1/assess", tenant: tenant, payload: payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("assess %q: %w", req.Schema, err)
+	}
+	var ar AssessResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return nil, fmt.Errorf("decode assess response: %w", err)
+	}
+	if len(ar.Verdicts) != len(req.Signatures) {
+		return nil, fmt.Errorf("hub returned %d verdicts for %d signatures", len(ar.Verdicts), len(req.Signatures))
+	}
+	return &ar, nil
 }
 
 // FetchAll fetches the models of every peer concurrently and degrades

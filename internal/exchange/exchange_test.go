@@ -47,7 +47,7 @@ func quickPolicy() RetryPolicy {
 }
 
 func TestServerListingAndETagRevalidation(t *testing.T) {
-	srv, err := NewServer(testModel(t, "S1"), testModel(t, "S2"))
+	srv, err := NewServer(WithModels(testModel(t, "S1"), testModel(t, "S2")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestServerListingAndETagRevalidation(t *testing.T) {
 // peer, one serving garbage, one timing out, one down entirely. FetchAll
 // must return the healthy peer's model and name each failure.
 func TestFetchAllPartialPeers(t *testing.T) {
-	healthySrv, err := NewServer(testModel(t, "GOOD"))
+	healthySrv, err := NewServer(WithModels(testModel(t, "GOOD")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestFetchAllPartialPeers(t *testing.T) {
 }
 
 func TestClientRetriesTransientFailures(t *testing.T) {
-	srv, err := NewServer(testModel(t, "FLAKY"))
+	srv, err := NewServer(WithModels(testModel(t, "FLAKY")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestFetchModelV0Compat(t *testing.T) {
 // TestFetchPeerPartialHarvest: a peer listing two models where one model
 // endpoint is broken still yields the healthy model plus a named error.
 func TestFetchPeerPartialHarvest(t *testing.T) {
-	srv, err := NewServer(testModel(t, "OK"), testModel(t, "BROKEN"))
+	srv, err := NewServer(WithModels(testModel(t, "OK"), testModel(t, "BROKEN")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestBackoffIsCappedAndJittered(t *testing.T) {
 			want = 300 * time.Millisecond
 		}
 		for i := 0; i < 50; i++ {
-			d := c.backoff(attempt)
+			d := c.backoff(attempt, nil)
 			if d < want/2 || d > want {
 				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
 			}
@@ -339,7 +339,7 @@ func TestFetchAllHonoursCancellation(t *testing.T) {
 }
 
 func TestServerRejectsWrites(t *testing.T) {
-	srv, err := NewServer(testModel(t, "S1"))
+	srv, err := NewServer(WithModels(testModel(t, "S1")))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,7 +39,7 @@ func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error)
 // model, and be counted as an ETag hit — never as a fresh fetch, and never
 // entering the retry bookkeeping.
 func TestETagHitServedFromCache(t *testing.T) {
-	srv, err := NewServer(testModel(t, "S1"))
+	srv, err := NewServer(WithModels(testModel(t, "S1")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestETagHitServedFromCache(t *testing.T) {
 // model must replace the cache entry.
 func TestRepublishInvalidatesCache(t *testing.T) {
 	m1 := testModel(t, "S1")
-	srv, err := NewServer(m1)
+	srv, err := NewServer(WithModels(m1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestRepublishInvalidatesCache(t *testing.T) {
 // TestClientRetryAndFailureCounters: injected server errors must show up as
 // retries and, when the budget runs out, a request failure.
 func TestClientRetryAndFailureCounters(t *testing.T) {
-	srv, err := NewServer(testModel(t, "S1"))
+	srv, err := NewServer(WithModels(testModel(t, "S1")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestClientRetryAndFailureCounters(t *testing.T) {
 // with the hub-side counters, 404s without a registry, and /debug/pprof is
 // gated behind EnablePprof.
 func TestServerMetricsEndpoint(t *testing.T) {
-	srv, err := NewServer(testModel(t, "S1"))
+	srv, err := NewServer(WithModels(testModel(t, "S1")))
 	if err != nil {
 		t.Fatal(err)
 	}

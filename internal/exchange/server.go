@@ -2,9 +2,17 @@
 // production transport for the paper's exchange step, in which only models
 // M_k = {μ_k, PC_k, l_k} ever travel, never schema elements.
 //
-// A Server publishes each schema's model at /models/<schema> in wire format
-// v1 (versioned JSON with a SHA-256 hash trailer) and serves the model's
-// content hash as a strong ETag, so unchanged models revalidate with 304s.
+// A Server is a long-running multi-tenant scoping service. Each tenant
+// namespace holds a versioned model registry fed by POST /v1/models
+// uploads (checksum-validated, optionally persisted through
+// internal/checkpoint so the registry survives restarts) and answers
+// linkability queries on its hot path, POST /v1/assess: signatures in,
+// verdicts out, with request coalescing and admission control. Models are
+// served at /v1/models/<schema> in wire format v1 (versioned JSON with a
+// SHA-256 hash trailer) with the content hash as a strong ETag, so
+// unchanged models revalidate with 304s. The pre-/v1 routes (/models,
+// /models/<schema>, /metrics) remain as aliases of the default tenant.
+//
 // A Client fetches peers' models with per-request timeouts, capped
 // exponential backoff with jitter, and end-to-end checksum validation.
 //
@@ -25,13 +33,15 @@ import (
 	"strings"
 	"sync"
 
+	"collabscope/internal/checkpoint"
 	"collabscope/internal/core"
 	"collabscope/internal/faultinject"
 	"collabscope/internal/obs"
 )
 
-// Listing is the body of GET /models: the wire version the hub speaks and
-// the published models with their content hashes.
+// Listing is the body of the legacy GET /models route: the wire version
+// the hub speaks and the default tenant's published models with their
+// content hashes.
 type Listing struct {
 	Version int            `json:"version"`
 	Models  []ListingEntry `json:"models"`
@@ -43,43 +53,204 @@ type ListingEntry struct {
 	ETag   string `json:"etag"`
 }
 
-// published is one model frozen at publish time: its serialised v1 wire
-// bytes and the content-hash ETag derived from them.
+// published is one model frozen at publish time: its canonical v1 wire
+// bytes, the content-hash ETag derived from them, the decoded model kept
+// for the assess hot path, and the registry version of the upload.
 type published struct {
-	body []byte
-	etag string // strong ETag, quotes included
+	body    []byte
+	etag    string // strong ETag, quotes included
+	model   *core.Model
+	version int // per-(tenant, schema) upload version, starting at 1
 }
 
-// Server is an HTTP hub publishing trained models. It implements
-// http.Handler with two read-only routes:
-//
-//	GET /models          → Listing (schemas + ETags)
-//	GET /models/<schema> → the model's wire-format JSON, ETag header set
-//
-// Conditional requests with If-None-Match revalidate against the content
-// hash. Publishing is safe during serving; a model can be re-published
-// after retraining and the ETag changes with the content.
-type Server struct {
-	mu     sync.RWMutex
+// tenantSpace is one tenant's model registry.
+type tenantSpace struct {
 	models map[string]*published
+}
+
+// AdmissionConfig bounds the /v1/assess hot path. Requests beyond the
+// bounds are shed with 429 and a Retry-After header rather than queued
+// without limit.
+type AdmissionConfig struct {
+	// QueueDepth caps concurrently admitted assess computations across all
+	// tenants. 0 means DefaultQueueDepth; negative disables shedding.
+	QueueDepth int
+	// TenantQuota caps one tenant's concurrently admitted computations, so
+	// a single hot tenant cannot starve the rest. 0 means QueueDepth;
+	// negative disables the per-tenant cap.
+	TenantQuota int
+	// RetryAfterSeconds is advertised in the Retry-After header of shed
+	// responses. 0 means DefaultRetryAfterSeconds.
+	RetryAfterSeconds int
+}
+
+// Admission defaults.
+const (
+	DefaultQueueDepth        = 64
+	DefaultRetryAfterSeconds = 1
+)
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.TenantQuota == 0 {
+		c.TenantQuota = c.QueueDepth
+	}
+	if c.RetryAfterSeconds == 0 {
+		c.RetryAfterSeconds = DefaultRetryAfterSeconds
+	}
+	return c
+}
+
+// Server is the scoping service: an http.Handler whose routes are listed
+// in the package comment and specified in DESIGN.md §12. Publishing and
+// uploading are safe during serving; a model can be re-published after
+// retraining and its ETag changes with the content.
+type Server struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenantSpace
+	// generation counts content-changing publishes across all tenants. The
+	// assess coalescer keys on it so a republish can never serve a verdict
+	// computed against the previous registry state.
+	generation int64
+	// store, when set, persists the registry (one checkpoint cell per
+	// model plus a manifest cell) so uploads survive restarts.
+	store *checkpoint.Store
 	// inject, when set, scopes fault injection to this hub instance (sites
-	// exchange.server.request and exchange.server.body), so chaos tests can
-	// make exactly one peer of a fleet misbehave.
+	// exchange.server.request, exchange.server.body and
+	// exchange.service.assess), so chaos tests can make exactly one peer of
+	// a fleet misbehave.
 	inject *faultinject.Injector
-	// reg, when set, backs GET /metrics and the hub's request counters
-	// (server.requests, server.model_fetches, server.not_modified,
-	// server.not_found). Nil keeps both disabled: /metrics answers 404 and
-	// the counters are no-ops.
+	// reg, when set, backs GET /v1/metrics (and the legacy /metrics alias)
+	// and the service counters. Nil keeps both disabled: the metrics routes
+	// answer 404 and the counters are no-ops.
 	reg *obs.Registry
 	// pprofEnabled exposes net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints leak timing and heap internals, so a hub
 	// must opt in (e.g. `collabscope serve -pprof`).
 	pprofEnabled bool
+	// workers bounds the parallel.Map fan-out of one assess computation
+	// (0 = GOMAXPROCS).
+	workers int
+
+	admission AdmissionConfig
+
+	// Assess admission + coalescing state; assessMu also guards flight so
+	// the join-or-admit decision is atomic (see service.go).
+	assessMu     sync.Mutex
+	flight       map[string]*flightCall
+	active       int
+	tenantActive map[string]int
 }
 
-// SetMetrics attaches (or, with nil, detaches) a metrics registry. The hub
-// then counts requests and serves a JSON snapshot of the registry — which
-// may be shared with the rest of the process — at GET /metrics.
+// ServerOption configures NewServer, mirroring the Pipeline option style.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	models      []*core.Model
+	reg         *obs.Registry
+	pprof       bool
+	inject      *faultinject.Injector
+	registryDir string
+	store       *checkpoint.Store
+	admission   AdmissionConfig
+	workers     int
+}
+
+// WithModels publishes the given models (into the default tenant) at
+// construction time.
+func WithModels(models ...*core.Model) ServerOption {
+	return func(c *serverConfig) { c.models = append(c.models, models...) }
+}
+
+// WithServerMetrics attaches a metrics registry: the service then counts
+// requests, sheds and latencies, and serves a JSON snapshot of the
+// registry — which may be shared with the rest of the process — at
+// GET /v1/metrics (and the legacy /metrics alias).
+func WithServerMetrics(reg *obs.Registry) ServerOption {
+	return func(c *serverConfig) { c.reg = reg }
+}
+
+// WithPprof exposes the net/http/pprof handlers under /debug/pprof/.
+func WithPprof() ServerOption {
+	return func(c *serverConfig) { c.pprof = true }
+}
+
+// WithServerFaultInjector arms an instance-scoped fault injector on the
+// server. It takes precedence over a globally armed injector.
+func WithServerFaultInjector(in *faultinject.Injector) ServerOption {
+	return func(c *serverConfig) { c.inject = in }
+}
+
+// WithRegistryDir persists the model registry in a checkpoint store rooted
+// at dir: every publish and upload is written through, and NewServer
+// reloads the registry from the same directory, so a restarted server
+// serves byte-identical model bodies and verdicts.
+func WithRegistryDir(dir string) ServerOption {
+	return func(c *serverConfig) { c.registryDir = dir }
+}
+
+// WithRegistryStore is WithRegistryDir with an already-open store (which
+// may be shared with other persistence in the process). It wins over
+// WithRegistryDir when both are given.
+func WithRegistryStore(st *checkpoint.Store) ServerOption {
+	return func(c *serverConfig) { c.store = st }
+}
+
+// WithAdmission bounds the /v1/assess hot path (queue depth, per-tenant
+// quota, Retry-After). The zero config means the defaults.
+func WithAdmission(cfg AdmissionConfig) ServerOption {
+	return func(c *serverConfig) { c.admission = cfg }
+}
+
+// WithServerWorkers bounds the worker-pool fan-out of one assess
+// computation (0 = GOMAXPROCS).
+func WithServerWorkers(n int) ServerOption {
+	return func(c *serverConfig) { c.workers = n }
+}
+
+// NewServer returns a scoping service configured by the given options.
+func NewServer(opts ...ServerOption) (*Server, error) {
+	var cfg serverConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Server{
+		tenants:      make(map[string]*tenantSpace),
+		reg:          cfg.reg,
+		pprofEnabled: cfg.pprof,
+		inject:       cfg.inject,
+		workers:      cfg.workers,
+		admission:    cfg.admission.withDefaults(),
+		flight:       make(map[string]*flightCall),
+		tenantActive: make(map[string]int),
+	}
+	if cfg.store != nil {
+		s.store = cfg.store
+	} else if cfg.registryDir != "" {
+		st, err := checkpoint.Open(cfg.registryDir)
+		if err != nil {
+			return nil, fmt.Errorf("exchange: open registry: %w", err)
+		}
+		s.store = st
+	}
+	if s.store != nil {
+		if err := s.loadRegistry(); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range cfg.models {
+		if err := s.Publish(m); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SetMetrics attaches (or, with nil, detaches) a metrics registry.
+//
+// Deprecated: pass WithServerMetrics to NewServer instead.
 func (s *Server) SetMetrics(reg *obs.Registry) {
 	s.mu.Lock()
 	s.reg = reg
@@ -87,6 +258,8 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 }
 
 // EnablePprof exposes the net/http/pprof handlers under /debug/pprof/.
+//
+// Deprecated: pass WithPprof to NewServer instead.
 func (s *Server) EnablePprof() {
 	s.mu.Lock()
 	s.pprofEnabled = true
@@ -100,7 +273,9 @@ func (s *Server) registry() *obs.Registry {
 }
 
 // SetFaultInjector arms (or, with nil, disarms) an instance-scoped fault
-// injector on this hub. It takes precedence over a globally armed injector.
+// injector on this hub.
+//
+// Deprecated: pass WithServerFaultInjector to NewServer instead.
 func (s *Server) SetFaultInjector(in *faultinject.Injector) {
 	s.mu.Lock()
 	s.inject = in
@@ -120,82 +295,307 @@ func (s *Server) hit(site string) error {
 	return faultinject.Hit(site)
 }
 
-// NewServer returns a hub publishing the given models.
-func NewServer(models ...*core.Model) (*Server, error) {
-	s := &Server{models: make(map[string]*published)}
-	for _, m := range models {
-		if err := s.Publish(m); err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
+// Registry persistence: one checkpoint cell per model keyed
+// "model.<tenant>.<schema>", plus a manifest cell enumerating the live
+// (tenant, schema) pairs — the store has no directory listing, so the
+// manifest is how a restart finds its cells. Model bytes are stored in
+// canonical wire form; the cell envelope's own hash trailer plus the wire
+// format's embedded checksum make a corrupted registry a detected miss,
+// never silently wrong verdicts.
+
+const manifestKey = "registry.manifest"
+
+type manifestCell struct {
+	Entries []manifestEntry `json:"entries"`
 }
 
-// Publish (re-)publishes a model under its schema name. The model is
-// serialised once; subsequent requests serve the frozen bytes.
-func (s *Server) Publish(m *core.Model) error {
-	if m == nil {
-		return fmt.Errorf("exchange: cannot publish a nil model")
-	}
-	if m.Schema == "" {
-		return fmt.Errorf("exchange: cannot publish a model with an empty schema name")
-	}
-	var buf bytes.Buffer
-	if err := m.WriteJSON(&buf); err != nil {
-		return fmt.Errorf("exchange: serialise model %q: %w", m.Schema, err)
-	}
-	sum, err := m.Fingerprint()
+type manifestEntry struct {
+	Tenant string `json:"tenant"`
+	Schema string `json:"schema"`
+}
+
+type modelCell struct {
+	Tenant  string          `json:"tenant"`
+	Schema  string          `json:"schema"`
+	Version int             `json:"version"`
+	Wire    json.RawMessage `json:"wire"`
+}
+
+func modelCellKey(tenant, schema string) string {
+	return "model." + tenant + "." + schema
+}
+
+// loadRegistry rebuilds the in-memory registry from the checkpoint store.
+// A missing or quarantined cell skips that model (the uploader re-uploads)
+// rather than failing startup.
+func (s *Server) loadRegistry() error {
+	var man manifestCell
+	ok, err := s.store.Load(manifestKey, &man)
 	if err != nil {
-		return fmt.Errorf("exchange: fingerprint model %q: %w", m.Schema, err)
+		return fmt.Errorf("exchange: load registry manifest: %w", err)
 	}
-	s.mu.Lock()
-	s.models[m.Schema] = &published{body: buf.Bytes(), etag: `"` + sum + `"`}
-	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	for _, e := range man.Entries {
+		var cell modelCell
+		ok, err := s.store.Load(modelCellKey(e.Tenant, e.Schema), &cell)
+		if err != nil {
+			return fmt.Errorf("exchange: load registry cell %s/%s: %w", e.Tenant, e.Schema, err)
+		}
+		if !ok {
+			continue
+		}
+		m, err := core.ReadModelJSON(bytes.NewReader(cell.Wire))
+		if err != nil {
+			// The envelope verified but the wire payload does not: treat
+			// like a quarantined cell and let the uploader re-upload.
+			continue
+		}
+		p, err := freeze(m)
+		if err != nil {
+			return err
+		}
+		p.version = cell.Version
+		s.space(e.Tenant).models[e.Schema] = p
+		s.generation++
+	}
 	return nil
 }
 
-// Schemas returns the published schema names, sorted.
-func (s *Server) Schemas() []string {
+// persist writes one model's cell and the refreshed manifest. Callers hold
+// s.mu.
+func (s *Server) persistLocked(tenant, schema string, p *published) error {
+	if s.store == nil {
+		return nil
+	}
+	cell := modelCell{Tenant: tenant, Schema: schema, Version: p.version, Wire: p.body}
+	if err := s.store.Save(modelCellKey(tenant, schema), &cell); err != nil {
+		return fmt.Errorf("exchange: persist model %s/%s: %w", tenant, schema, err)
+	}
+	var man manifestCell
+	for t, sp := range s.tenants {
+		for name := range sp.models {
+			man.Entries = append(man.Entries, manifestEntry{Tenant: t, Schema: name})
+		}
+	}
+	sort.Slice(man.Entries, func(i, j int) bool {
+		if man.Entries[i].Tenant != man.Entries[j].Tenant {
+			return man.Entries[i].Tenant < man.Entries[j].Tenant
+		}
+		return man.Entries[i].Schema < man.Entries[j].Schema
+	})
+	if err := s.store.Save(manifestKey, &man); err != nil {
+		return fmt.Errorf("exchange: persist registry manifest: %w", err)
+	}
+	return nil
+}
+
+// space returns (creating if needed) a tenant's registry. Callers hold
+// s.mu or run before serving starts.
+func (s *Server) space(tenant string) *tenantSpace {
+	sp, ok := s.tenants[tenant]
+	if !ok {
+		sp = &tenantSpace{models: make(map[string]*published)}
+		s.tenants[tenant] = sp
+	}
+	return sp
+}
+
+// freeze serialises a model to its canonical wire bytes and content-hash
+// ETag.
+func freeze(m *core.Model) (*published, error) {
+	if m == nil {
+		return nil, fmt.Errorf("exchange: cannot publish a nil model")
+	}
+	if m.Schema == "" {
+		return nil, fmt.Errorf("exchange: cannot publish a model with an empty schema name")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("exchange: serialise model %q: %w", m.Schema, err)
+	}
+	sum, err := m.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("exchange: fingerprint model %q: %w", m.Schema, err)
+	}
+	return &published{body: buf.Bytes(), etag: `"` + sum + `"`, model: m}, nil
+}
+
+// Publish (re-)publishes a model in the default tenant. The model is
+// serialised once; subsequent requests serve the frozen bytes.
+func (s *Server) Publish(m *core.Model) error {
+	_, err := s.PublishTenant(DefaultTenant, m)
+	return err
+}
+
+// PublishTenant (re-)publishes a model under its schema name in the given
+// tenant namespace and returns the registry version assigned to it.
+// Publishing identical content is idempotent: the existing version (and
+// generation) is kept.
+func (s *Server) PublishTenant(tenant string, m *core.Model) (int, error) {
+	if !validTenant(tenant) {
+		return 0, fmt.Errorf("exchange: invalid tenant name %q", tenant)
+	}
+	p, err := freeze(m)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.space(tenant)
+	if prev, ok := sp.models[m.Schema]; ok {
+		if prev.etag == p.etag {
+			return prev.version, nil
+		}
+		p.version = prev.version + 1
+	} else {
+		p.version = 1
+	}
+	sp.models[m.Schema] = p
+	s.generation++
+	if err := s.persistLocked(tenant, m.Schema, p); err != nil {
+		return 0, err
+	}
+	return p.version, nil
+}
+
+// Schemas returns the default tenant's published schema names, sorted.
+func (s *Server) Schemas() []string { return s.TenantSchemas(DefaultTenant) }
+
+// TenantSchemas returns one tenant's published schema names, sorted.
+func (s *Server) TenantSchemas(tenant string) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.models))
-	for name := range s.models {
+	sp, ok := s.tenants[tenant]
+	if !ok {
+		return nil
+	}
+	names := make([]string, 0, len(sp.models))
+	for name := range sp.models {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// ServeHTTP routes /models and /models/<schema>.
-// "exchange.server.request" is a fault-injection hook point: injected
-// delays stall the response (exercising client timeouts) and injected
-// errors turn into 500s (exercising client retries).
+// Generation returns the registry generation: the count of
+// content-changing publishes across all tenants since startup (reloaded
+// models count once each).
+func (s *Server) Generation() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.generation
+}
+
+// lookup returns a tenant's published model.
+func (s *Server) lookup(tenant, schema string) (*published, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sp, ok := s.tenants[tenant]
+	if !ok {
+		return nil, false
+	}
+	p, ok := sp.models[schema]
+	return p, ok
+}
+
+// ServeHTTP routes the service API (see the package comment for the route
+// table). "exchange.server.request" is a fault-injection hook point:
+// injected delays stall the response (exercising client timeouts) and
+// injected errors turn into 500s (exercising client retries).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err := s.hit("exchange.server.request"); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", "GET, HEAD")
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	reg := s.registry()
 	reg.Counter("server.requests").Inc()
 	path := strings.TrimSuffix(r.URL.Path, "/")
+	v1 := strings.HasPrefix(path, "/v1/") || path == "/v1"
+	if v1 {
+		path = strings.TrimPrefix(path, "/v1")
+	}
 	switch {
 	case path == "/models":
-		s.serveListing(w, r)
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			tenant, ok := s.resolveTenant(w, r, v1)
+			if !ok {
+				return
+			}
+			s.serveListing(w, tenant, v1)
+		case http.MethodPost:
+			if v1 {
+				s.handleUpload(w, r)
+				return
+			}
+			s.methodNotAllowed(w, v1, "GET, HEAD")
+		default:
+			allow := "GET, HEAD"
+			if v1 {
+				allow = "GET, HEAD, POST"
+			}
+			s.methodNotAllowed(w, v1, allow)
+		}
 	case strings.HasPrefix(path, "/models/"):
-		s.serveModel(w, r, strings.TrimPrefix(path, "/models/"))
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			s.methodNotAllowed(w, v1, "GET, HEAD")
+			return
+		}
+		tenant, ok := s.resolveTenant(w, r, v1)
+		if !ok {
+			return
+		}
+		s.serveModel(w, r, tenant, strings.TrimPrefix(path, "/models/"), v1)
+	case v1 && path == "/assess":
+		if r.Method != http.MethodPost {
+			s.methodNotAllowed(w, v1, "POST")
+			return
+		}
+		s.handleAssess(w, r)
 	case path == "/metrics" && reg != nil:
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			s.methodNotAllowed(w, v1, "GET, HEAD")
+			return
+		}
 		s.serveMetrics(w, reg)
-	case strings.HasPrefix(r.URL.Path, "/debug/pprof/") && s.pprofActive():
+	case !v1 && strings.HasPrefix(r.URL.Path, "/debug/pprof/") && s.pprofActive():
 		servePprof(w, r)
 	default:
 		reg.Counter("server.not_found").Inc()
+		if v1 {
+			writeV1Error(w, http.StatusNotFound, CodeNotFound, "no route for %s", r.URL.Path)
+			return
+		}
 		http.NotFound(w, r)
 	}
+}
+
+// resolveTenant reads the tenant header, answering 400 on a malformed one.
+// Legacy routes ignore tenancy and always serve the default tenant.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request, v1 bool) (string, bool) {
+	if !v1 {
+		return DefaultTenant, true
+	}
+	tenant, ok := tenantOf(r)
+	if !ok {
+		writeV1Error(w, http.StatusBadRequest, CodeInvalidRequest,
+			"malformed %s header (want 1-64 chars of [A-Za-z0-9._-])", TenantHeader)
+		return "", false
+	}
+	return tenant, true
+}
+
+// methodNotAllowed answers 405 with an accurate Allow header, in the
+// error dialect of the route's API version.
+func (s *Server) methodNotAllowed(w http.ResponseWriter, v1 bool, allow string) {
+	w.Header().Set("Allow", allow)
+	if v1 {
+		writeV1Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "allowed methods: %s", allow)
+		return
+	}
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 }
 
 func (s *Server) pprofActive() bool {
@@ -204,9 +604,9 @@ func (s *Server) pprofActive() bool {
 	return s.pprofEnabled
 }
 
-// serveMetrics answers GET /metrics with an indented JSON snapshot of the
-// registry — the same format obs.ReadSnapshotJSON and `collabscope stats
-// -metrics` consume.
+// serveMetrics answers the metrics routes with an indented JSON snapshot
+// of the registry — the same format obs.ReadSnapshotJSON and `collabscope
+// stats -metrics` consume.
 func (s *Server) serveMetrics(w http.ResponseWriter, reg *obs.Registry) {
 	w.Header().Set("Content-Type", "application/json")
 	snap := reg.Snapshot()
@@ -231,27 +631,51 @@ func servePprof(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) serveListing(w http.ResponseWriter, r *http.Request) {
-	listing := Listing{Version: core.WireVersion, Models: []ListingEntry{}}
+// serveListing answers GET /models (legacy shape, byte-compatible with
+// PR-2 clients) and GET /v1/models (tenant-aware shape with model
+// versions).
+func (s *Server) serveListing(w http.ResponseWriter, tenant string, v1 bool) {
+	type row struct {
+		schema  string
+		etag    string
+		version int
+	}
+	var rows []row
 	s.mu.RLock()
-	for name, p := range s.models {
-		listing.Models = append(listing.Models, ListingEntry{Schema: name, ETag: p.etag})
+	if sp, ok := s.tenants[tenant]; ok {
+		for name, p := range sp.models {
+			rows = append(rows, row{schema: name, etag: p.etag, version: p.version})
+		}
 	}
 	s.mu.RUnlock()
-	sort.Slice(listing.Models, func(i, j int) bool {
-		return listing.Models[i].Schema < listing.Models[j].Schema
-	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].schema < rows[j].schema })
 	w.Header().Set("Content-Type", "application/json")
+	if !v1 {
+		listing := Listing{Version: core.WireVersion, Models: []ListingEntry{}}
+		for _, r := range rows {
+			listing.Models = append(listing.Models, ListingEntry{Schema: r.schema, ETag: r.etag})
+		}
+		_ = json.NewEncoder(w).Encode(listing)
+		return
+	}
+	listing := ListingV1{Version: core.WireVersion, Tenant: tenant, Models: []ListingEntryV1{}}
+	for _, r := range rows {
+		listing.Models = append(listing.Models, ListingEntryV1{
+			Schema: r.schema, ETag: r.etag, ModelVersion: r.version,
+		})
+	}
 	_ = json.NewEncoder(w).Encode(listing)
 }
 
-func (s *Server) serveModel(w http.ResponseWriter, r *http.Request, name string) {
+func (s *Server) serveModel(w http.ResponseWriter, r *http.Request, tenant, name string, v1 bool) {
 	reg := s.registry()
-	s.mu.RLock()
-	p, ok := s.models[name]
-	s.mu.RUnlock()
+	p, ok := s.lookup(tenant, name)
 	if !ok {
 		reg.Counter("server.not_found").Inc()
+		if v1 {
+			writeV1Error(w, http.StatusNotFound, CodeNotFound, "no model published for schema %q", name)
+			return
+		}
 		http.Error(w, fmt.Sprintf("no model published for schema %q", name), http.StatusNotFound)
 		return
 	}

@@ -1,0 +1,353 @@
+package exchange
+
+// The service hot path: POST /v1/models (registry uploads) and
+// POST /v1/assess (signatures in → linkability verdicts out).
+//
+// Assess requests pass three gates:
+//
+//  1. Coalescing — a request byte-identical to one already in flight for
+//     the same tenant and registry generation joins it and shares the one
+//     computation, so a thundering herd of identical queries costs one
+//     worker-pool pass.
+//  2. Admission — computations beyond the queue depth (or one tenant's
+//     quota) are shed with 429 + Retry-After instead of queueing without
+//     bound; a shed request costs no model arithmetic.
+//  3. Computation — the signature matrix is reconstructed by every foreign
+//     model of the tenant on the internal/parallel pool, folding verdicts
+//     in deterministic model order (Algorithm 2's per-model acceptance).
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"collabscope/internal/core"
+	"collabscope/internal/linalg"
+	"collabscope/internal/obs"
+	"collabscope/internal/parallel"
+)
+
+// Request body caps: a model upload is a few MB even at wire-format
+// limits; an assess matrix can be large (elements × dimension floats).
+const (
+	maxUploadBody = 64 << 20
+	maxAssessBody = 512 << 20
+	// maxAssessFloats caps elements × dimension of one assess request,
+	// mirroring the wire format's maxWireFloats.
+	maxAssessFloats = 1 << 24
+)
+
+// flightCall is one in-flight assess computation that coalesced requests
+// can join. done is closed after resp/err are set.
+type flightCall struct {
+	done chan struct{}
+	resp *AssessResponse
+	err  error
+}
+
+// statusErr carries an HTTP status + error code through the compute path.
+type statusErr struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *statusErr) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &statusErr{status: http.StatusBadRequest, code: CodeInvalidRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// handleUpload implements POST /v1/models: the body is one model in wire
+// format v1; its embedded SHA-256 trailer is validated end to end before
+// the model enters the registry (and, when persistence is on, the
+// checkpoint store).
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	tenant, ok := s.resolveTenant(w, r, true)
+	if !ok {
+		return
+	}
+	reg.Counter("service.uploads").Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBody+1))
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, CodeInvalidRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxUploadBody {
+		writeV1Error(w, http.StatusRequestEntityTooLarge, CodeInvalidRequest,
+			"model body exceeds %d bytes", maxUploadBody)
+		return
+	}
+	m, err := core.ReadModelJSON(bytes.NewReader(body))
+	if err != nil {
+		reg.Counter("service.upload_rejects").Inc()
+		writeV1Error(w, http.StatusBadRequest, CodeInvalidModel, "%v", err)
+		return
+	}
+	version, err := s.PublishTenant(tenant, m)
+	if err != nil {
+		writeV1Error(w, http.StatusInternalServerError, CodeInternal, "publish: %v", err)
+		return
+	}
+	p, _ := s.lookup(tenant, m.Schema)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", p.etag)
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(UploadResponse{
+		Tenant: tenant, Schema: m.Schema, Version: version, ETag: p.etag,
+	})
+}
+
+// validate checks an assess request's shape before it can touch the
+// admission gates.
+func (req *AssessRequest) validate() error {
+	if req.Schema == "" {
+		return badRequest("schema must be named (self-models are skipped by name)")
+	}
+	n := len(req.Signatures)
+	if n == 0 {
+		return badRequest("no signatures to assess")
+	}
+	dim := len(req.Signatures[0])
+	if dim == 0 {
+		return badRequest("signature rows are empty")
+	}
+	if n*dim > maxAssessFloats {
+		return badRequest("request holds %d floats, cap is %d", n*dim, maxAssessFloats)
+	}
+	for i, row := range req.Signatures {
+		if len(row) != dim {
+			return badRequest("signature row %d has %d values, row 0 has %d", i, len(row), dim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return badRequest("signature[%d][%d] is not finite", i, j)
+			}
+		}
+	}
+	if len(req.IDs) != 0 && len(req.IDs) != n {
+		return badRequest("%d ids for %d signature rows", len(req.IDs), n)
+	}
+	switch req.Mode {
+	case "", "any", "all":
+	default:
+		return badRequest("mode %q (want \"any\" or \"all\")", req.Mode)
+	}
+	if req.RelaxEpsilon < 0 || math.IsNaN(req.RelaxEpsilon) || math.IsInf(req.RelaxEpsilon, 0) {
+		return badRequest("relax_epsilon %v must be finite and ≥ 0", req.RelaxEpsilon)
+	}
+	return nil
+}
+
+func (req *AssessRequest) mode() core.AcceptanceMode {
+	if req.Mode == "all" {
+		return core.AllModels
+	}
+	return core.AnyModel
+}
+
+// handleAssess implements POST /v1/assess.
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	tenant, ok := s.resolveTenant(w, r, true)
+	if !ok {
+		return
+	}
+	sw := obs.NewStopwatch()
+	reg.Counter("service.requests").Inc()
+	reg.Counter("service.tenant." + tenant + ".requests").Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxAssessBody+1))
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, CodeInvalidRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxAssessBody {
+		writeV1Error(w, http.StatusRequestEntityTooLarge, CodeInvalidRequest,
+			"assess body exceeds %d bytes", maxAssessBody)
+		return
+	}
+	var req AssessRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeV1Error(w, http.StatusBadRequest, CodeInvalidRequest, "decode request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.writeAssessError(w, reg, err)
+		return
+	}
+
+	// Coalesce or admit — one atomic decision under assessMu. The key pins
+	// tenant, request bytes and registry generation, so a republish between
+	// two identical requests never lets the second ride a stale verdict.
+	sum := sha256.Sum256(body)
+	key := fmt.Sprintf("%s|%d|%x", tenant, s.Generation(), sum)
+	s.assessMu.Lock()
+	if fc, ok := s.flight[key]; ok {
+		s.assessMu.Unlock()
+		reg.Counter("service.coalesced").Inc()
+		reg.Counter("service.tenant." + tenant + ".coalesced").Inc()
+		select {
+		case <-fc.done:
+			s.writeAssess(w, reg, tenant, sw, fc)
+		case <-r.Context().Done():
+			writeV1Error(w, http.StatusServiceUnavailable, CodeInternal,
+				"request cancelled while awaiting coalesced result")
+		}
+		return
+	}
+	if s.admission.QueueDepth > 0 && s.active >= s.admission.QueueDepth {
+		s.assessMu.Unlock()
+		s.shed(w, reg, tenant, "queue")
+		return
+	}
+	if s.admission.TenantQuota > 0 && s.tenantActive[tenant] >= s.admission.TenantQuota {
+		s.assessMu.Unlock()
+		s.shed(w, reg, tenant, "tenant")
+		return
+	}
+	s.active++
+	s.tenantActive[tenant]++
+	fc := &flightCall{done: make(chan struct{})}
+	s.flight[key] = fc
+	s.assessMu.Unlock()
+	reg.Gauge("service.inflight").Add(1)
+
+	// Compute detached from this request's cancellation: coalesced
+	// followers share the result, so the leader hanging up must not void
+	// their work.
+	fc.resp, fc.err = s.computeAssess(context.WithoutCancel(r.Context()), tenant, &req)
+	s.assessMu.Lock()
+	delete(s.flight, key)
+	s.active--
+	s.tenantActive[tenant]--
+	if s.tenantActive[tenant] <= 0 {
+		delete(s.tenantActive, tenant)
+	}
+	s.assessMu.Unlock()
+	reg.Gauge("service.inflight").Add(-1)
+	close(fc.done)
+	s.writeAssess(w, reg, tenant, sw, fc)
+}
+
+// shed rejects an assess request with 429 + Retry-After.
+func (s *Server) shed(w http.ResponseWriter, reg *obs.Registry, tenant, gate string) {
+	reg.Counter("service.shed").Inc()
+	reg.Counter("service.tenant." + tenant + ".shed").Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.admission.RetryAfterSeconds))
+	writeV1Error(w, http.StatusTooManyRequests, CodeOverloaded,
+		"assess %s full, retry after %ds", gate, s.admission.RetryAfterSeconds)
+}
+
+func (s *Server) writeAssess(w http.ResponseWriter, reg *obs.Registry, tenant string, sw obs.Stopwatch, fc *flightCall) {
+	if fc.err != nil {
+		s.writeAssessError(w, reg, fc.err)
+		return
+	}
+	reg.Histogram("service.assess").ObserveSince(sw)
+	reg.Histogram("service.tenant." + tenant + ".assess").ObserveSince(sw)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(fc.resp)
+}
+
+func (s *Server) writeAssessError(w http.ResponseWriter, reg *obs.Registry, err error) {
+	reg.Counter("service.errors").Inc()
+	var se *statusErr
+	if errors.As(err, &se) {
+		writeV1Error(w, se.status, se.code, "%s", se.msg)
+		return
+	}
+	writeV1Error(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+}
+
+// snapshotForeign returns the tenant's models excluding the requesting
+// schema's own, in deterministic schema-name order, plus the registry
+// generation the snapshot belongs to.
+func (s *Server) snapshotForeign(tenant, schema string) []*published {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sp, ok := s.tenants[tenant]
+	if !ok {
+		return nil
+	}
+	out := make([]*published, 0, len(sp.models))
+	for name, p := range sp.models {
+		if name == schema {
+			continue // Algorithm 2 never assesses a schema against itself
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].model.Schema < out[j].model.Schema })
+	return out
+}
+
+// computeAssess runs one admitted assessment: reconstruct the signature
+// matrix under every foreign model of the tenant (parallel across models)
+// and fold acceptances in model order, exactly mirroring
+// core.AssessContext so service verdicts match in-process ones.
+// "exchange.service.assess" is a fault-injection hook point: injected
+// delays stall the computation inside the admission window (exercising
+// shedding and coalescing), injected errors become 500s.
+func (s *Server) computeAssess(ctx context.Context, tenant string, req *AssessRequest) (*AssessResponse, error) {
+	if err := s.hit("exchange.service.assess"); err != nil {
+		return nil, err
+	}
+	foreign := s.snapshotForeign(tenant, req.Schema)
+	n := len(req.Signatures)
+	dim := len(req.Signatures[0])
+	for _, p := range foreign {
+		if p.model.Dim() != dim {
+			return nil, badRequest("model %q has dimension %d, request signatures have %d",
+				p.model.Schema, p.model.Dim(), dim)
+		}
+	}
+	x := linalg.NewDense(n, dim)
+	for i, row := range req.Signatures {
+		copy(x.RowView(i), row)
+	}
+	errsByModel, err := parallel.Map(ctx, s.workers, foreign, func(_ int, p *published) ([]float64, error) {
+		return p.model.ErrorsInto(x, make([]float64, n), nil), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mode := req.mode()
+	verdicts := make([]Verdict, n)
+	for i := range verdicts {
+		label := strconv.Itoa(i)
+		if len(req.IDs) != 0 {
+			label = req.IDs[i]
+		}
+		verdicts[i] = Verdict{Element: label, Linkable: mode == core.AllModels && len(foreign) > 0}
+	}
+	for k, p := range foreign {
+		bound := p.model.Range * (1 + req.RelaxEpsilon)
+		for i, e := range errsByModel[k] {
+			accepted := e <= bound
+			if mode == core.AllModels {
+				verdicts[i].Linkable = verdicts[i].Linkable && accepted
+			} else {
+				verdicts[i].Linkable = verdicts[i].Linkable || accepted
+			}
+		}
+	}
+	resp := &AssessResponse{
+		Tenant:     tenant,
+		Schema:     req.Schema,
+		Verdicts:   verdicts,
+		Used:       make([]ModelRef, 0, len(foreign)),
+		Generation: s.Generation(),
+	}
+	for _, p := range foreign {
+		resp.Used = append(resp.Used, ModelRef{Schema: p.model.Schema, Version: p.version, ETag: p.etag})
+	}
+	return resp, nil
+}

@@ -191,6 +191,19 @@ func RunBench(cfg Config) (*BenchReport, error) {
 		{"figure3", func() error { Figure3(cfg, ocfo, 12); return nil }},
 		{"scoping_curves_oc3", func() error { ScopingCurves(cfg, oc3, outlier.PCA{Variance: 0.5}); return nil }},
 		{"collab_curves_oc3", func() error { _, err := CollaborativeCurves(cfg, oc3); return err }},
+		{"service_assess", func() error {
+			_, err := RunServiceBench(ServiceBenchConfig{
+				Tenants:          2,
+				SchemasPerTenant: 3,
+				Dim:              cfg.Dim,
+				Requests:         64,
+				Concurrency:      []int{8},
+				QueueDepth:       8,
+				ServerWorkers:    4,
+				Seed:             cfg.Seed,
+			})
+			return err
+		}},
 		{"discussion", func() error {
 			for _, enc := range []*Encoded{oc3, ocfo} {
 				if _, err := Discuss(cfg, enc); err != nil {

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"collabscope/internal/core"
+	"collabscope/internal/embed"
+	"collabscope/internal/exchange"
+	"collabscope/internal/obs"
+	"collabscope/internal/parallel"
+	"collabscope/internal/synth"
+)
+
+// ServiceBenchConfig tunes the scoping-service load generator: a fleet of
+// synthetic tenants (internal/synth) uploads models into one hub and then
+// fires assess traffic at increasing concurrency until admission control
+// sheds. The zero value is not usable; call DefaultServiceBenchConfig.
+type ServiceBenchConfig struct {
+	// Tenants is the number of synthetic tenants minted onto the hub.
+	Tenants int
+	// SchemasPerTenant is the number of business schemas per tenant.
+	SchemasPerTenant int
+	// Dim is the signature dimensionality.
+	Dim int
+	// Requests is the number of assess calls fired per concurrency level.
+	Requests int
+	// Concurrency lists the offered-load levels (worker counts) swept, in
+	// order. Each level fires Requests calls.
+	Concurrency []int
+	// QueueDepth bounds the hub's global admission queue (0 means the
+	// server default). Levels above it saturate the hub and shed.
+	QueueDepth int
+	// ServerWorkers sizes the hub's per-request assessment pool. Values
+	// above 1 matter beyond raw parallelism: the pool's join is a
+	// scheduling yield point, so concurrent handlers can actually overlap
+	// (and coalesce or shed) even on a single-CPU runner.
+	ServerWorkers int
+	// DuplicateRun issues identical requests in runs of this length
+	// (default 4), giving the hub's request coalescing something to merge
+	// under concurrency.
+	DuplicateRun int
+	// Seed drives tenant minting.
+	Seed int64
+}
+
+// DefaultServiceBenchConfig returns a sweep that crosses the hub's
+// admission limit: queue depth 8 against concurrency up to 64.
+func DefaultServiceBenchConfig() ServiceBenchConfig {
+	return ServiceBenchConfig{
+		Tenants:          4,
+		SchemasPerTenant: 3,
+		Dim:              192,
+		Requests:         256,
+		Concurrency:      []int{1, 4, 16, 64},
+		QueueDepth:       4,
+		ServerWorkers:    4,
+		DuplicateRun:     4,
+		Seed:             1,
+	}
+}
+
+func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
+	def := DefaultServiceBenchConfig()
+	if c.Tenants <= 0 {
+		c.Tenants = def.Tenants
+	}
+	if c.SchemasPerTenant < 2 {
+		c.SchemasPerTenant = def.SchemasPerTenant
+	}
+	if c.Dim <= 0 {
+		c.Dim = def.Dim
+	}
+	if c.Requests <= 0 {
+		c.Requests = def.Requests
+	}
+	if len(c.Concurrency) == 0 {
+		c.Concurrency = def.Concurrency
+	}
+	if c.ServerWorkers <= 0 {
+		c.ServerWorkers = def.ServerWorkers
+	}
+	if c.DuplicateRun <= 0 {
+		c.DuplicateRun = def.DuplicateRun
+	}
+	return c
+}
+
+// ServiceLevelResult is one row of the saturation table: the outcome of
+// firing Requests assess calls at one concurrency level.
+type ServiceLevelResult struct {
+	// Concurrency is the offered load (driver workers).
+	Concurrency int `json:"concurrency"`
+	// OK, Shed and Errors partition the fired requests: 2xx answers,
+	// 429 admission sheds, and everything else. Shed is read from the
+	// hub's own service.shed counter delta.
+	OK     int64 `json:"ok"`
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+	// Coalesced counts requests the hub answered by joining an identical
+	// in-flight computation (service.coalesced delta).
+	Coalesced int64 `json:"coalesced"`
+	// WallNS is the wall time of the level; Throughput is successful
+	// requests per second.
+	WallNS     int64   `json:"wall_ns"`
+	Throughput float64 `json:"throughput_rps"`
+	// P50NS, P95NS and MaxNS summarise client-observed request latency.
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// ServiceBenchReport is the result of one saturation sweep.
+type ServiceBenchReport struct {
+	Config ServiceBenchConfig   `json:"config"`
+	Levels []ServiceLevelResult `json:"levels"`
+}
+
+// Fprint renders the saturation table in the benchtables style.
+func (r *ServiceBenchReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "service saturation: tenants=%d schemas/tenant=%d dim=%d requests=%d queue=%d\n",
+		r.Config.Tenants, r.Config.SchemasPerTenant, r.Config.Dim, r.Config.Requests, r.Config.QueueDepth)
+	fmt.Fprintf(w, "%5s %8s %8s %10s %8s %10s %10s %10s %10s\n",
+		"conc", "ok", "shed", "coalesced", "errors", "req/s", "p50(ms)", "p95(ms)", "max(ms)")
+	for _, l := range r.Levels {
+		fmt.Fprintf(w, "%5d %8d %8d %10d %8d %10.1f %10.2f %10.2f %10.2f\n",
+			l.Concurrency, l.OK, l.Shed, l.Coalesced, l.Errors, l.Throughput,
+			float64(l.P50NS)/1e6, float64(l.P95NS)/1e6, float64(l.MaxNS)/1e6)
+	}
+	fmt.Fprintln(w)
+}
+
+// serviceCall is one pre-built assess request of the traffic corpus.
+type serviceCall struct {
+	tenant string
+	req    *exchange.AssessRequest
+}
+
+// RunServiceBench mints a tenant fleet, stands up a scoping hub on a
+// loopback listener, uploads every tenant's models through the /v1 API,
+// and sweeps assess traffic across the configured concurrency levels.
+// Shed and coalesced counts come from the hub's own metrics registry, so
+// the table reports what the server actually did, not what the client
+// inferred.
+func RunServiceBench(cfg ServiceBenchConfig) (*ServiceBenchReport, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+
+	tenants, err := synth.MintTenants(cfg.Tenants, synth.Config{
+		Schemas: cfg.SchemasPerTenant,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stand up the hub with admission control and its own registry.
+	reg := obs.NewRegistry()
+	srv, err := exchange.NewServer(
+		exchange.WithServerMetrics(reg),
+		exchange.WithAdmission(exchange.AdmissionConfig{QueueDepth: cfg.QueueDepth}),
+		exchange.WithServerWorkers(cfg.ServerWorkers),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: service bench hub: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: service bench listener: %w", err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on shutdown
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Train and upload every tenant's models, and build the assess corpus:
+	// each schema's own signatures, to be scoped against its tenant peers.
+	enc := Config{Dim: cfg.Dim}.Encoder()
+	uploader := exchange.NewClient()
+	var corpus []serviceCall
+	for _, t := range tenants {
+		sets := embed.EncodeSchemas(enc, t.Dataset.Schemas)
+		for _, set := range sets {
+			m, err := core.Train(set, 0.8)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: service bench train %s: %w", t.Tenant, err)
+			}
+			if _, err := uploader.Upload(ctx, base, t.Tenant, m); err != nil {
+				return nil, fmt.Errorf("experiments: service bench upload %s/%s: %w", t.Tenant, m.Schema, err)
+			}
+			req := &exchange.AssessRequest{
+				Schema:     m.Schema,
+				IDs:        make([]string, set.Len()),
+				Signatures: make([][]float64, set.Len()),
+			}
+			for i := range req.IDs {
+				req.IDs[i] = set.IDs[i].String()
+				req.Signatures[i] = set.Matrix.RowView(i)
+			}
+			corpus = append(corpus, serviceCall{tenant: t.Tenant, req: req})
+		}
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("experiments: service bench minted no schemas")
+	}
+
+	rep := &ServiceBenchReport{Config: cfg}
+	for _, level := range cfg.Concurrency {
+		// One attempt per call: a shed is a data point here, not a fault
+		// to paper over with retries.
+		client := exchange.NewClient(exchange.WithRetryPolicy(exchange.RetryPolicy{MaxAttempts: 1}))
+		lreg := obs.NewRegistry()
+		before := reg.Snapshot()
+
+		var ok, failed atomic.Int64
+		sw := obs.NewStopwatch()
+		_ = parallel.ForEach(ctx, level, cfg.Requests, func(i int) error {
+			// Identical requests arrive in runs of DuplicateRun, so under
+			// concurrency the hub sees coalescable duplicates in flight.
+			call := corpus[(i/cfg.DuplicateRun)%len(corpus)]
+			csw := obs.NewStopwatch()
+			_, err := client.Assess(ctx, base, call.tenant, call.req)
+			lreg.Histogram("latency").ObserveSince(csw)
+			if err != nil {
+				failed.Add(1)
+			} else {
+				ok.Add(1)
+			}
+			return nil
+		})
+		wallNS := int64(sw.Elapsed())
+
+		after := reg.Snapshot()
+		shed := after.Counters["service.shed"] - before.Counters["service.shed"]
+		coalesced := after.Counters["service.coalesced"] - before.Counters["service.coalesced"]
+		errs := failed.Load() - shed
+		if errs < 0 {
+			errs = 0
+		}
+		lat := lreg.Snapshot().Histograms["latency"]
+		res := ServiceLevelResult{
+			Concurrency: level,
+			OK:          ok.Load(),
+			Shed:        shed,
+			Coalesced:   coalesced,
+			Errors:      errs,
+			WallNS:      wallNS,
+			P50NS:       lat.Quantile(0.5),
+			P95NS:       lat.Quantile(0.95),
+			MaxNS:       lat.MaxNS,
+		}
+		if wallNS > 0 {
+			res.Throughput = float64(res.OK) / (float64(wallNS) / 1e9)
+		}
+		rep.Levels = append(rep.Levels, res)
+	}
+	return rep, nil
+}

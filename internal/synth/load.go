@@ -1,0 +1,38 @@
+package synth
+
+import (
+	"fmt"
+
+	"collabscope/internal/datasets"
+)
+
+// TenantScenario couples one tenant of the scoping service with its
+// synthetic schemas, for the service load generator.
+type TenantScenario struct {
+	// Tenant is the minted tenant name ("tenant-00", "tenant-01", …).
+	Tenant string
+	// Dataset holds the tenant's schemas with exact ground truth.
+	Dataset *datasets.Dataset
+}
+
+// MintTenants generates n deterministic tenant scenarios. Every tenant
+// draws from cfg with a tenant-specific seed offset, so the fleet is
+// heterogeneous (different optional/split draws per tenant) yet fully
+// reproducible from cfg.Seed.
+func MintTenants(n int, cfg Config) ([]TenantScenario, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("synth: need at least 1 tenant, got %d", n)
+	}
+	out := make([]TenantScenario, n)
+	for i := range out {
+		c := cfg
+		// A large odd stride decorrelates the per-tenant generator streams.
+		c.Seed = cfg.Seed + int64(i)*1_000_003
+		d, err := Generate(c)
+		if err != nil {
+			return nil, fmt.Errorf("synth: mint tenant %d: %w", i, err)
+		}
+		out[i] = TenantScenario{Tenant: fmt.Sprintf("tenant-%02d", i), Dataset: d}
+	}
+	return out, nil
+}

@@ -3,6 +3,7 @@ package collabscope
 import (
 	"context"
 	"net/http"
+	"sort"
 
 	"collabscope/internal/core"
 	"collabscope/internal/exchange"
@@ -65,18 +66,66 @@ func (p *Pipeline) exchangeClient() *exchange.Client {
 	return p.exch
 }
 
-// ModelServer is an HTTP hub publishing trained models (an http.Handler).
-// Beyond the model routes it can expose a GET /metrics JSON snapshot
-// (SetMetrics) and, explicitly opted in, the net/http/pprof profiling
-// endpoints under /debug/pprof/ (EnablePprof).
+// ModelServer is the scoping service (an http.Handler): a multi-tenant
+// model registry fed by POST /v1/models uploads, the POST /v1/assess
+// linkability hot path with admission control and request coalescing,
+// model serving at /v1/models/<schema> (plus the legacy /models aliases),
+// and an optional GET /v1/metrics JSON snapshot.
 type ModelServer = exchange.Server
 
-// NewModelServer returns a hub publishing the models at /models/<schema> in
-// wire format v1, each with its content hash as a strong ETag, plus a
-// /models listing. Serve it with net/http to become a model hub other
-// parties can assess against.
+type (
+	// ServerOption configures NewScopingServer, in the same functional
+	// style as the Pipeline options.
+	ServerOption = exchange.ServerOption
+	// AdmissionConfig bounds the /v1/assess hot path: queue depth,
+	// per-tenant quota, and the Retry-After advice on shed requests.
+	AdmissionConfig = exchange.AdmissionConfig
+	// Verdict is one element's linkability outcome — the shared shape of
+	// the /v1/assess wire format and the CLI's assessment rendering.
+	Verdict = exchange.Verdict
+	// AssessRequest is the POST /v1/assess wire request.
+	AssessRequest = exchange.AssessRequest
+	// AssessResponse is the POST /v1/assess wire response.
+	AssessResponse = exchange.AssessResponse
+)
+
+// WithServerModels publishes models (into the default tenant) at server
+// construction time.
+func WithServerModels(models ...*Model) ServerOption { return exchange.WithModels(models...) }
+
+// WithServerMetrics attaches a metrics registry to the server: request,
+// shed and latency metrics, served back at GET /v1/metrics.
+func WithServerMetrics(m *Metrics) ServerOption { return exchange.WithServerMetrics(m) }
+
+// WithServerPprof exposes net/http/pprof under /debug/pprof/.
+func WithServerPprof() ServerOption { return exchange.WithPprof() }
+
+// WithServerRegistry persists the server's model registry in the given
+// directory (via the checkpoint store), so uploads survive restarts with
+// byte-identical model bodies and verdicts.
+func WithServerRegistry(dir string) ServerOption { return exchange.WithRegistryDir(dir) }
+
+// WithServerAdmission bounds the assess hot path; the zero config means
+// the defaults (queue depth 64, tenant quota = queue depth, Retry-After
+// 1 s).
+func WithServerAdmission(cfg AdmissionConfig) ServerOption { return exchange.WithAdmission(cfg) }
+
+// WithServerWorkers bounds the worker-pool fan-out of one assess
+// computation (0 = GOMAXPROCS).
+func WithServerWorkers(n int) ServerOption { return exchange.WithServerWorkers(n) }
+
+// NewScopingServer returns the scoping service configured by the given
+// options. Serve it with net/http to run a long-lived multi-tenant hub.
+func NewScopingServer(opts ...ServerOption) (*ModelServer, error) {
+	return exchange.NewServer(opts...)
+}
+
+// NewModelServer returns a hub publishing the models at /models/<schema>
+// (and /v1/models/<schema>) in wire format v1, each with its content hash
+// as a strong ETag, plus a models listing. It is NewScopingServer with the
+// models pre-published — kept for the original publish-only call sites.
 func NewModelServer(models ...*Model) (*ModelServer, error) {
-	return exchange.NewServer(models...)
+	return exchange.NewServer(exchange.WithModels(models...))
 }
 
 // FetchModels fetches every peer's published models, degrading gracefully:
@@ -90,17 +139,36 @@ func (p *Pipeline) FetchModels(ctx context.Context, peers []string) ([]*Model, [
 	return p.exchangeClient().FetchAll(ctx, peers)
 }
 
+// Assessment is the shared outcome shape of every linkability assessment —
+// local (Pipeline.Assess wrapped for rendering), peer-fetched
+// (AssessRemote, CollaborativeScopeRemote) or service-side (AssessServer).
+// The CLI renders all of them through List, so local and remote assessment
+// print identically.
+type Assessment struct {
+	// Verdicts maps every local element to its linkability verdict.
+	Verdicts map[ElementID]bool
+	// Used names the schemas of the foreign models that were applied.
+	Used []string
+	// Failed names the peers (or individual peer models) that could not
+	// contribute. The verdicts above exclude their models.
+	Failed []PeerError
+}
+
+// List renders the verdicts as the shared Verdict type of the /v1/assess
+// wire format, sorted by element name for deterministic output.
+func (a *Assessment) List() []Verdict {
+	out := make([]Verdict, 0, len(a.Verdicts))
+	for id, linkable := range a.Verdicts {
+		out = append(out, Verdict{Element: id.String(), Linkable: linkable})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Element < out[j].Element })
+	return out
+}
+
 // RemoteAssessment is the outcome of assessing a local schema against the
 // models fetched from remote peers.
 type RemoteAssessment struct {
-	// Verdicts maps every local element to its linkability verdict.
-	Verdicts map[ElementID]bool
-	// Used names the schemas of the foreign models that were applied,
-	// in peer order.
-	Used []string
-	// Failed names the peers (or individual peer models) that could not
-	// be fetched. The assessment above excludes their contribution.
-	Failed []PeerError
+	Assessment
 }
 
 // AssessRemote fetches the peers' models and runs Algorithm 2 for the local
@@ -122,7 +190,7 @@ func (p *Pipeline) AssessRemote(ctx context.Context, s *Schema, peers []string) 
 	if err != nil {
 		return nil, err
 	}
-	res := &RemoteAssessment{Verdicts: verdicts, Failed: failed}
+	res := &RemoteAssessment{Assessment: Assessment{Verdicts: verdicts, Failed: failed}}
 	for _, m := range foreign {
 		res.Used = append(res.Used, m.Schema)
 	}
@@ -130,17 +198,14 @@ func (p *Pipeline) AssessRemote(ctx context.Context, s *Schema, peers []string) 
 }
 
 // RemoteScopeResult is the outcome of a remote collaborative-scoping round
-// for one party.
+// for one party: the streamlined-schema ScopeResult plus the shared
+// Assessment shape (verdicts, used models, failed peers).
 type RemoteScopeResult struct {
 	ScopeResult
+	Assessment
 	// Local is the local model trained at the round's explained variance —
 	// the model this party publishes to its peers.
 	Local *Model
-	// Used names the schemas of the foreign models applied.
-	Used []string
-	// Failed names the peers that contributed nothing; the verdicts above
-	// exclude their models.
-	Failed []PeerError
 }
 
 // CollaborativeScopeRemote runs one party's side of the paper's distributed
@@ -171,11 +236,57 @@ func (p *Pipeline) CollaborativeScopeRemote(ctx context.Context, s *Schema, v fl
 	}
 	res := &RemoteScopeResult{
 		ScopeResult: *newScopeResult([]*Schema{s}, verdicts),
+		Assessment:  Assessment{Verdicts: verdicts, Failed: failed},
 		Local:       local,
-		Failed:      failed,
 	}
 	for _, m := range foreign {
 		res.Used = append(res.Used, m.Schema)
+	}
+	return res, nil
+}
+
+// UploadModel publishes a trained model into a scoping service's registry
+// via POST /v1/models (tenant "" means the default namespace). The hub
+// re-validates the wire checksum and the returned ETag is cross-checked
+// against the local fingerprint.
+func (p *Pipeline) UploadModel(ctx context.Context, base, tenant string, m *Model) error {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.upload")
+	defer sp.End()
+	_, err := p.exchangeClient().Upload(ctx, base, tenant, m)
+	return err
+}
+
+// AssessServer assesses a local schema against a scoping service: the
+// schema's signatures are encoded locally and posted to the hub's
+// POST /v1/assess hot path (tenant "" means the default namespace), which
+// runs Algorithm 2 against every foreign model in its registry. Only
+// signatures travel — the schema's structure stays local. Shed responses
+// (429) are retried under the pipeline's retry policy, honouring the
+// hub's Retry-After advice.
+func (p *Pipeline) AssessServer(ctx context.Context, s *Schema, base, tenant string) (*RemoteAssessment, error) {
+	ctx, sp := obs.Start(p.obsContext(ctx), "pipeline.assess_server")
+	defer sp.End()
+	set, err := p.EncodeContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	req := &AssessRequest{Schema: s.Name, IDs: make([]string, len(set.IDs)), Signatures: make([][]float64, len(set.IDs))}
+	for i, id := range set.IDs {
+		req.IDs[i] = id.String()
+		req.Signatures[i] = set.Matrix.RowView(i)
+	}
+	resp, err := p.exchangeClient().Assess(ctx, base, tenant, req)
+	if err != nil {
+		return nil, err
+	}
+	res := &RemoteAssessment{Assessment: Assessment{Verdicts: make(map[ElementID]bool, len(set.IDs))}}
+	// The client already checked the row/verdict count; map verdicts back
+	// to local element IDs by request order.
+	for i, id := range set.IDs {
+		res.Verdicts[id] = resp.Verdicts[i].Linkable
+	}
+	for _, ref := range resp.Used {
+		res.Used = append(res.Used, ref.Schema)
 	}
 	return res, nil
 }

@@ -194,3 +194,59 @@ func TestFetchModelsReportsFailures(t *testing.T) {
 		t.Fatalf("PeerError message should name the peer: %v", failed[0])
 	}
 }
+
+// TestAssessServerMatchesLocalAssessment pins the service hot path as
+// verdict-preserving: uploading every party's model into one scoping hub
+// and posting the local schema's signatures to /v1/assess yields exactly
+// the verdicts of an in-process assessment against the same models.
+func TestAssessServerMatchesLocalAssessment(t *testing.T) {
+	pipe := New(WithDimension(192), quickRetry())
+	schemas := figure1Schemas()
+	const v = 0.7
+
+	srv, err := NewScopingServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	local := schemas[0]
+	var foreign []*Model
+	for _, s := range schemas {
+		m, err := pipe.TrainModel(s, v)
+		if err != nil {
+			t.Fatalf("train %s: %v", s.Name, err)
+		}
+		// Every party's model goes into the hub — including the local
+		// schema's own, which the service must skip by name.
+		if err := pipe.UploadModel(context.Background(), ts.URL, "figure1", m); err != nil {
+			t.Fatalf("upload %s: %v", s.Name, err)
+		}
+		if s != local {
+			foreign = append(foreign, m)
+		}
+	}
+	want := pipe.Assess(local, foreign)
+
+	res, err := pipe.AssessServer(context.Background(), local, ts.URL, "figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Used) != len(schemas)-1 {
+		t.Fatalf("used %v, want the %d foreign schemas", res.Used, len(schemas)-1)
+	}
+	for _, used := range res.Used {
+		if used == local.Name {
+			t.Fatalf("self-model %q was not skipped by the service", local.Name)
+		}
+	}
+	if len(res.Verdicts) != len(want) {
+		t.Fatalf("verdict count %d, want %d", len(res.Verdicts), len(want))
+	}
+	for id, w := range want {
+		if res.Verdicts[id] != w {
+			t.Fatalf("verdict for %v differs between local and service assessment", id)
+		}
+	}
+}
