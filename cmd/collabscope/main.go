@@ -493,6 +493,7 @@ func runMatch(args []string) {
 		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("scope", 0, "collaboratively scope at this variance before matching (0 = off)")
 	dim, workers := pipelineFlags(fs)
+	indexed := indexFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
@@ -504,7 +505,7 @@ func runMatch(args []string) {
 		target = res.Streamlined
 		fmt.Printf("scoped at v=%.2f: kept %d, pruned %d\n", *scopeV, res.Kept, res.Pruned)
 	}
-	pairs := pipe.Match(parseMatcher(*matcher), target)
+	pairs := pipe.Match(indexed(*matcher), target)
 	for _, pr := range pairs {
 		fmt.Printf("%s ~ %s\n", pr.A, pr.B)
 	}
@@ -518,6 +519,7 @@ func runEval(args []string) {
 		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("v", 0.8, "collaborative scoping variance (0 = match originals)")
 	dim, workers := pipelineFlags(fs)
+	indexed := indexFlags(fs)
 	fs.Parse(args)
 	if *truthPath == "" {
 		fatalf("-truth is required")
@@ -530,7 +532,7 @@ func runEval(args []string) {
 	fatal(err)
 
 	pipe := newPipeline(*dim, *workers)
-	m := parseMatcher(*matcher)
+	m := indexed(*matcher)
 
 	sota := collabscope.EvaluateMatch(pipe.Match(m, schemas), truth, schemas)
 	fmt.Printf("original   : PQ=%.3f PC=%.3f F1=%.3f RR=%.3f (%d pairs)\n",
@@ -560,6 +562,62 @@ func newPipeline(dim, workers int, extra ...collabscope.Option) *collabscope.Pip
 		opts = append(opts, collabscope.WithParallelism(workers))
 	}
 	return collabscope.New(append(opts, extra...)...)
+}
+
+// indexFlags registers the ANN index-backend flags of the lsh matcher
+// family (sublinear search at 10⁵+ signatures). The returned function
+// resolves a matcher spec together with the parsed flags: -index rewrites
+// an lsh-family name to the chosen backend, and the parameter flags flow
+// through WithIndexConfig so they are validated at construction instead of
+// being silently discarded.
+func indexFlags(fs *flag.FlagSet) func(spec string) collabscope.Matcher {
+	kind := fs.String("index", "", "index backend for lsh-family matchers: flat, lsh, hnsw, ivf")
+	tables := fs.Int("lsh-tables", 0, "lsh index: hash tables (default 8)")
+	bits := fs.Int("lsh-bits", 0, "lsh index: hash bits per table (default 12)")
+	m := fs.Int("hnsw-m", 0, "hnsw index: max links per node (default 16)")
+	efc := fs.Int("hnsw-efc", 0, "hnsw index: construction beam width (default 128)")
+	ef := fs.Int("hnsw-ef", 0, "hnsw index: search beam width (default 64)")
+	nlists := fs.Int("ivf-nlists", 0, "ivf index: k-means cells (default ⌈√n⌉)")
+	nprobe := fs.Int("ivf-nprobe", 0, "ivf index: cells scanned per query (default nlists/8)")
+	seed := fs.Int64("index-seed", 0, "index construction seed (default 1)")
+	return func(spec string) collabscope.Matcher {
+		if *kind != "" {
+			k, err := collabscope.ParseIndexKind(*kind)
+			fatal(err)
+			spec = reindexSpec(spec, k)
+		}
+		cfg := collabscope.IndexConfig{
+			Tables: *tables, Bits: *bits,
+			M: *m, EfConstruction: *efc, EfSearch: *ef,
+			NLists: *nlists, NProbe: *nprobe, Seed: *seed,
+		}
+		mt, err := collabscope.ParseMatcher(spec, collabscope.WithIndexConfig(cfg))
+		fatal(err)
+		return mt
+	}
+}
+
+// indexKindNames maps a backend to its lsh-family registry name.
+var indexKindNames = map[collabscope.IndexKind]string{
+	collabscope.IndexFlat: "lsh",
+	collabscope.IndexLSH:  "lsh-approx",
+	collabscope.IndexHNSW: "lsh-hnsw",
+	collabscope.IndexIVF:  "lsh-ivf",
+}
+
+// reindexSpec swaps the registry name of an lsh-family spec for the one
+// matching the -index choice, preserving any ":param" suffix.
+func reindexSpec(spec string, kind collabscope.IndexKind) string {
+	name, param := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, param = spec[:i], spec[i:]
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "lsh", "lsh-approx", "lsh-hnsw", "lsh-ivf":
+		return indexKindNames[kind] + param
+	}
+	fatalf("-index applies to the lsh matcher family, not %q", name)
+	return ""
 }
 
 // parseDetector and parseMatcher resolve "name:param" specs through the

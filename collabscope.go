@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"collabscope/internal/ann"
 	"collabscope/internal/core"
 	"collabscope/internal/datasets"
 	"collabscope/internal/embed"
@@ -514,6 +515,43 @@ func NewLSHMatcher(k int) Matcher { return match.LSH{K: k} }
 // NewApproxLSHMatcher returns the genuine random-hyperplane LSH matcher.
 func NewApproxLSHMatcher(k int, seed int64) Matcher {
 	return match.LSH{K: k, Approximate: true, Seed: seed}
+}
+
+// IndexKind names an ANN index backend of the LSH matcher family.
+type IndexKind = ann.Kind
+
+// IndexConfig selects an ANN index backend and its parameters for the
+// top-k matcher and the blocking stage: the kind plus the union of the
+// backends' knobs (Tables/Bits for lsh, M/EfConstruction/EfSearch for
+// hnsw, NLists/NProbe for ivf) and the construction seed. The zero value
+// is the exact flat scan.
+type IndexConfig = match.IndexConfig
+
+// Index backend names accepted in IndexConfig.Kind.
+const (
+	// IndexFlat is the exact brute-force scan (default).
+	IndexFlat = ann.KindFlat
+	// IndexLSH is the random-hyperplane LSH index.
+	IndexLSH = ann.KindLSH
+	// IndexHNSW is the hierarchical navigable small-world graph index.
+	IndexHNSW = ann.KindHNSW
+	// IndexIVF is the inverted-file (k-means coarse quantizer) index.
+	IndexIVF = ann.KindIVF
+)
+
+// ParseIndexKind resolves an index backend name (case-insensitive; ""
+// means flat).
+func ParseIndexKind(s string) (IndexKind, error) { return ann.ParseKind(s) }
+
+// NewIndexedLSHMatcher returns the top-k nearest-neighbour matcher backed
+// by the configured ANN index. The config is validated here so a bad
+// parameterisation fails at construction instead of silently producing no
+// pairs at match time.
+func NewIndexedLSHMatcher(k int, cfg IndexConfig) (Matcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return match.LSH{K: k, Index: cfg}, nil
 }
 
 // NewNameMatcher returns a purely lexical matcher (max of normalised

@@ -15,7 +15,9 @@ package er
 
 import (
 	"collabscope"
+	"collabscope/internal/ann"
 	ier "collabscope/internal/er"
+	"collabscope/internal/linalg"
 )
 
 // Re-exported entity-resolution types.
@@ -49,6 +51,19 @@ func Scope(enc collabscope.Encoder, sources []Source, v float64) (map[collabscop
 // keep may be nil to block all records.
 func BlockTopK(enc collabscope.Encoder, sources []Source, keep map[collabscope.ElementID]bool, k int) ([]CandidatePair, error) {
 	return ier.BlockTopK(enc, sources, keep, k)
+}
+
+// BlockTopKIndexed is BlockTopK with the neighbour search running on the
+// configured ANN index backend (flat, lsh, hnsw, ivf) — sublinear search
+// for 10⁵+-record blocking. The config is validated before any source is
+// encoded.
+func BlockTopKIndexed(enc collabscope.Encoder, sources []Source, keep map[collabscope.ElementID]bool, k int, cfg collabscope.IndexConfig) ([]CandidatePair, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return ier.BlockTopKIndex(enc, sources, keep, k, func(x *linalg.Dense) (ann.Index, error) {
+		return ann.Build(x, cfg)
+	})
 }
 
 // Evaluate scores candidate pairs against the truth.

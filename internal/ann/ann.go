@@ -1,21 +1,33 @@
 // Package ann provides nearest-neighbour indexes over signature vectors:
 // an exact flat L2 index (the behaviour of FAISS IndexFlatL2, which the
-// paper's "LSH" matcher actually uses) and a genuine random-hyperplane
-// locality-sensitive-hashing index offered as the approximate variant.
+// paper's "LSH" matcher actually uses), a random-hyperplane
+// locality-sensitive-hashing index, an HNSW graph index, and an IVF
+// coarse-quantizer index. The approximate indexes trade recall for
+// sublinear per-query work, which is what makes 10⁵–10⁶-element signature
+// sets searchable at all (ROADMAP item 2).
 //
-// Both indexes run on the internal/linalg kernel layer: per-query distance
+// All indexes run on the internal/linalg kernel layer: per-query distance
 // panels plus bounded-heap top-k selection instead of a full sort, and a
 // SearchInto variant with caller-owned result and scratch storage so batch
 // query loops allocate nothing in steady state.
+//
+// NaN precondition: indexed vectors and queries must be NaN-free. Every
+// index ranks hits through linalg.TopKInto (or the equivalent heap order),
+// whose ordering is unspecified for NaN values; a NaN coordinate produces
+// NaN distances and therefore unspecified results. ±Inf coordinates are
+// fine (distances saturate to +Inf and rank last). The embed encoders only
+// emit finite signatures, so pipeline callers satisfy this by construction;
+// TestNaNFreeDistancePrecondition pins the finite-input guarantee.
 package ann
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"collabscope/internal/linalg"
+	"collabscope/internal/obs"
 )
 
 // Neighbor is one search hit.
@@ -26,20 +38,63 @@ type Neighbor struct {
 	Distance float64
 }
 
+// hit is the internal (distance, id) pair the graph and quantizer searches
+// rank. The ascending (d, id) order matches linalg.TopKInto's stable
+// (value, index) tie-break.
+type hit struct {
+	d  float64
+	id int32
+}
+
 // Scratch holds the reusable buffers of SearchInto: the per-row distance
-// panel, the top-k heap, and (for LSH) the candidate list. The zero value
-// is ready; buffers grow on demand and are retained across calls. A
-// Scratch must not be shared between concurrent searches.
+// panel, the top-k heap, candidate lists, and the graph-search heaps and
+// visited stamps. The zero value is ready; buffers grow on demand and are
+// retained across calls. A Scratch must not be shared between concurrent
+// searches.
 type Scratch struct {
-	dists []float64
-	heap  []int
-	cand  []int
+	dists  []float64
+	heap   []int
+	cand   []int
+	cdists []float64 // coarse-quantizer (centroid) distance panel
+
+	// Graph-search state (HNSW): epoch-stamped visited marks plus the
+	// candidate min-heap and result max-heap.
+	visited  []uint32
+	visitGen uint32
+	candH    []hit
+	resH     []hit
+}
+
+// markVisited stamps id as visited in the current generation, reporting
+// whether it was already stamped.
+func (sc *Scratch) markVisited(id int32) bool {
+	if sc.visited[id] == sc.visitGen {
+		return true
+	}
+	sc.visited[id] = sc.visitGen
+	return false
+}
+
+// resetVisited prepares the visited stamps for a new search over n nodes.
+func (sc *Scratch) resetVisited(n int) {
+	if cap(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.visitGen = 0
+	}
+	sc.visited = sc.visited[:n]
+	sc.visitGen++
+	if sc.visitGen == 0 { // generation wrapped: clear stale stamps once
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.visitGen = 1
+	}
 }
 
 // Index answers top-k nearest-neighbour queries.
 type Index interface {
 	// Search returns up to k nearest neighbours of the query, nearest
-	// first.
+	// first. Approximate indexes may return fewer than min(k, Len()) hits.
 	Search(query []float64, k int) []Neighbor
 	// SearchInto is Search with caller-owned storage: hits are appended
 	// into dst (reused when capacity allows) and working memory comes from
@@ -48,6 +103,19 @@ type Index interface {
 	SearchInto(query []float64, k int, dst []Neighbor, sc *Scratch) []Neighbor
 	// Len returns the number of indexed vectors.
 	Len() int
+}
+
+// FallbackReporter is implemented by indexes that can degrade to a full
+// exact scan when their approximate structure yields too few candidates.
+// The counts make the degradation observable: a high fallback fraction
+// means the index is effectively O(n) per query and its measured recall
+// over-reports the approximate structure's quality (fallback queries score
+// perfect recall by construction).
+type FallbackReporter interface {
+	// FallbackStats returns the number of queries answered so far and how
+	// many of them fell back to an exact scan. Both counts are cumulative
+	// and safe for concurrent use.
+	FallbackStats() (queries, fallbacks int64)
 }
 
 // FlatIndex is an exact L2 index — a brute-force scan, like FAISS
@@ -104,6 +172,28 @@ func growHits(dst []Neighbor, k int) []Neighbor {
 	return dst[:k]
 }
 
+// rerankInto ranks the candidate row ids in cand — which must be unique and
+// in ascending order, so positional ties under TopKInto equal index ties —
+// by exact distance to the query and writes the top-k into dst.
+func rerankInto(data *linalg.Dense, query []float64, cand []int, k int, dst []Neighbor, sc *Scratch) []Neighbor {
+	if cap(sc.dists) < len(cand) {
+		sc.dists = make([]float64, len(cand))
+	}
+	dists := sc.dists[:len(cand)]
+	for p, i := range cand {
+		dists[p] = linalg.SquaredDistance(query, data.RowView(i))
+	}
+	sc.heap = linalg.TopKInto(dists, k, sc.heap)
+	if k > len(cand) {
+		k = len(cand)
+	}
+	dst = growHits(dst, k)
+	for r, p := range sc.heap[:k] {
+		dst[r] = Neighbor{Index: cand[p], Distance: dists[p]}
+	}
+	return dst
+}
+
 // LSHConfig configures the random-hyperplane LSH index.
 type LSHConfig struct {
 	// Tables is the number of hash tables; 8 if zero.
@@ -112,14 +202,26 @@ type LSHConfig struct {
 	Bits int
 	// Seed makes hyperplane generation deterministic.
 	Seed int64
+	// Metrics, when non-nil, registers the ann.lsh.fallbacks counter so
+	// exact-scan degradations surface in metrics snapshots.
+	Metrics *obs.Registry
 }
 
 // LSHIndex hashes vectors by the sign pattern of random hyperplane
 // projections; candidates from matching buckets are re-ranked exactly.
+// Queries whose buckets yield fewer than k candidates fall back to a full
+// exact scan so callers always receive k results — the fallback is counted
+// (FallbackStats, plus the ann.lsh.fallbacks counter when a Metrics
+// registry is configured) because each one costs O(n) and scores perfect
+// recall, masking poor hash selectivity.
 type LSHIndex struct {
 	data   *linalg.Dense
 	tables []map[uint64][]int
 	planes [][][]float64 // [table][bit][dim]
+
+	queries     atomic.Int64
+	fallbacks   atomic.Int64
+	fallbackCtr *obs.Counter
 }
 
 // NewLSHIndex builds the index over the rows of x.
@@ -135,9 +237,10 @@ func NewLSHIndex(x *linalg.Dense, cfg LSHConfig) (*LSHIndex, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idx := &LSHIndex{
-		data:   x,
-		tables: make([]map[uint64][]int, cfg.Tables),
-		planes: make([][][]float64, cfg.Tables),
+		data:        x,
+		tables:      make([]map[uint64][]int, cfg.Tables),
+		planes:      make([][][]float64, cfg.Tables),
+		fallbackCtr: cfg.Metrics.Counter("ann.lsh.fallbacks"),
 	}
 	for t := 0; t < cfg.Tables; t++ {
 		idx.tables[t] = map[uint64][]int{}
@@ -163,6 +266,11 @@ func NewLSHIndex(x *linalg.Dense, cfg LSHConfig) (*LSHIndex, error) {
 // Len implements Index.
 func (l *LSHIndex) Len() int { return l.data.Rows() }
 
+// FallbackStats implements FallbackReporter.
+func (l *LSHIndex) FallbackStats() (queries, fallbacks int64) {
+	return l.queries.Load(), l.fallbacks.Load()
+}
+
 func (l *LSHIndex) hash(table int, v []float64) uint64 {
 	var h uint64
 	for b, plane := range l.planes[table] {
@@ -174,9 +282,9 @@ func (l *LSHIndex) hash(table int, v []float64) uint64 {
 }
 
 // Search implements Index: it gathers candidates from all tables whose
-// bucket matches the query hash and re-ranks them by exact distance. If no
-// bucket matches, it falls back to an exact scan so callers always receive
-// k results when k ≤ Len().
+// bucket matches the query hash and re-ranks them by exact distance. If
+// fewer than k candidates surface, it falls back to an exact scan so
+// callers always receive k results when k ≤ Len(); the fallback is counted.
 func (l *LSHIndex) Search(query []float64, k int) []Neighbor {
 	return l.SearchInto(query, k, nil, nil)
 }
@@ -189,6 +297,7 @@ func (l *LSHIndex) SearchInto(query []float64, k int, dst []Neighbor, sc *Scratc
 	if k <= 0 || l.data.Rows() == 0 {
 		return dst[:0]
 	}
+	l.queries.Add(1)
 	if sc == nil {
 		sc = &Scratch{}
 	}
@@ -206,50 +315,105 @@ func (l *LSHIndex) SearchInto(query []float64, k int, dst []Neighbor, sc *Scratc
 	}
 	sc.cand = cand[:cap(cand)][:0]
 	if len(uniq) < k {
+		l.fallbacks.Add(1)
+		l.fallbackCtr.Inc()
 		return (&FlatIndex{data: l.data}).SearchInto(query, k, dst, sc)
 	}
-	if cap(sc.dists) < len(uniq) {
-		sc.dists = make([]float64, len(uniq))
-	}
-	dists := sc.dists[:len(uniq)]
-	for p, i := range uniq {
-		dists[p] = linalg.SquaredDistance(query, l.data.RowView(i))
-	}
-	// Positional ties equal index ties because uniq is in ascending order.
-	sc.heap = linalg.TopKInto(dists, k, sc.heap)
-	if k > len(uniq) {
-		k = len(uniq)
-	}
-	dst = growHits(dst, k)
-	for r, p := range sc.heap[:k] {
-		dst[r] = Neighbor{Index: uniq[p], Distance: dists[p]}
-	}
-	return dst
+	return rerankInto(l.data, query, uniq, k, dst, sc)
+}
+
+// RecallStats is the result of MeasureRecall: the recall of an approximate
+// index against exact ground truth, together with the fraction of measured
+// queries the index answered by falling back to a full exact scan. A high
+// fallback fraction means the recall number mostly measures the fallback's
+// exact scan, not the approximate structure.
+type RecallStats struct {
+	// Recall is the fraction of exact top-k neighbours retrieved, averaged
+	// over the query rows.
+	Recall float64
+	// Queries is the number of query rows measured.
+	Queries int
+	// FallbackFraction is the fraction of measured queries answered by a
+	// full exact scan (always 0 for indexes that never fall back or do not
+	// report fallbacks).
+	FallbackFraction float64
 }
 
 // Recall computes the fraction of exact top-k neighbours that an index
 // retrieves, averaged over the rows of queries — a quality probe for
-// approximate indexes.
-func Recall(exact, approx Index, queries *linalg.Dense, k int) float64 {
-	if queries.Rows() == 0 || k <= 0 {
-		return math.NaN()
+// approximate indexes. Degenerate measurements (no queries, k ≤ 0, an
+// empty exact index) return an error instead of NaN, so a recall number
+// written into a BENCH report is always a finite, comparable value.
+func Recall(exact, approx Index, queries *linalg.Dense, k int) (float64, error) {
+	stats, err := MeasureRecall(exact, approx, queries, k)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Recall, nil
+}
+
+// MeasureRecall is Recall with the approximate index's fallback fraction
+// measured over the same query set (via FallbackReporter, when
+// implemented). Report the two numbers together: recall alone over-reports
+// an index that degrades to exact scans.
+func MeasureRecall(exact, approx Index, queries *linalg.Dense, k int) (RecallStats, error) {
+	if queries == nil || queries.Rows() == 0 {
+		return RecallStats{}, fmt.Errorf("ann: recall needs at least one query row")
+	}
+	if k <= 0 {
+		return RecallStats{}, fmt.Errorf("ann: recall needs k > 0, got %d", k)
+	}
+	if exact.Len() == 0 {
+		return RecallStats{}, fmt.Errorf("ann: recall against an empty exact index")
+	}
+	var q0, f0 int64
+	reporter, _ := approx.(FallbackReporter)
+	if reporter != nil {
+		q0, f0 = reporter.FallbackStats()
 	}
 	var hits, total int
+	var sc Scratch
+	var exactDst, approxDst []Neighbor
+	truth := map[int]bool{}
 	for q := 0; q < queries.Rows(); q++ {
 		row := queries.RowView(q)
-		truth := map[int]bool{}
-		for _, n := range exact.Search(row, k) {
+		clear(truth)
+		exactDst = exact.SearchInto(row, k, exactDst, &sc)
+		for _, n := range exactDst {
 			truth[n.Index] = true
 		}
-		for _, n := range approx.Search(row, k) {
+		approxDst = approx.SearchInto(row, k, approxDst, &sc)
+		for _, n := range approxDst {
 			if truth[n.Index] {
 				hits++
 			}
 		}
 		total += len(truth)
 	}
-	if total == 0 {
-		return math.NaN()
+	stats := RecallStats{Queries: queries.Rows()}
+	if total > 0 {
+		stats.Recall = float64(hits) / float64(total)
 	}
-	return float64(hits) / float64(total)
+	if reporter != nil {
+		q1, f1 := reporter.FallbackStats()
+		if dq := q1 - q0; dq > 0 {
+			stats.FallbackFraction = float64(f1-f0) / float64(dq)
+		}
+	}
+	return stats, nil
+}
+
+// FallbackFraction returns the cumulative fraction of an index's queries
+// answered by a full exact scan, and whether the index reports fallbacks at
+// all. Surface it wherever recall is reported.
+func FallbackFraction(idx Index) (float64, bool) {
+	reporter, ok := idx.(FallbackReporter)
+	if !ok {
+		return 0, false
+	}
+	queries, fallbacks := reporter.FallbackStats()
+	if queries == 0 {
+		return 0, true
+	}
+	return float64(fallbacks) / float64(queries), true
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"collabscope/internal/linalg"
+	"collabscope/internal/obs"
 )
 
 func randomData(n, dim int, seed int64) *linalg.Dense {
@@ -85,12 +86,29 @@ func TestLSHValidation(t *testing.T) {
 
 func TestLSHFallbackGuaranteesK(t *testing.T) {
 	// With very selective hashes most buckets are singletons; the fallback
-	// must still return k results.
+	// must still return k results — and every degradation must be counted.
 	x := randomData(50, 8, 4)
-	idx, _ := NewLSHIndex(x, LSHConfig{Tables: 1, Bits: 20, Seed: 9})
+	reg := obs.NewRegistry()
+	idx, _ := NewLSHIndex(x, LSHConfig{Tables: 1, Bits: 20, Seed: 9, Metrics: reg})
 	hits := idx.Search(x.Row(0), 10)
 	if len(hits) != 10 {
 		t.Fatalf("got %d hits, want 10", len(hits))
+	}
+	queries, fallbacks := idx.FallbackStats()
+	if queries != 1 || fallbacks != 1 {
+		t.Fatalf("FallbackStats = (%d, %d), want (1, 1): a sparse-bucket query must register as a fallback", queries, fallbacks)
+	}
+	if got := reg.Counter("ann.lsh.fallbacks").Value(); got != 1 {
+		t.Fatalf("ann.lsh.fallbacks = %d, want 1", got)
+	}
+	if frac, ok := FallbackFraction(idx); !ok || frac != 1 {
+		t.Fatalf("FallbackFraction = (%v, %v), want (1, true)", frac, ok)
+	}
+	// A well-populated query must not count as a fallback.
+	idx2, _ := NewLSHIndex(x, LSHConfig{Tables: 8, Bits: 2, Seed: 9})
+	idx2.Search(x.Row(0), 2)
+	if q, f := idx2.FallbackStats(); q != 1 || f != 0 {
+		t.Fatalf("dense-bucket FallbackStats = (%d, %d), want (1, 0)", q, f)
 	}
 }
 
@@ -99,20 +117,56 @@ func TestLSHRecallReasonable(t *testing.T) {
 	flat := NewFlatIndex(x)
 	lsh, _ := NewLSHIndex(x, LSHConfig{Tables: 16, Bits: 6, Seed: 6})
 	queries := randomData(40, 24, 7)
-	r := Recall(flat, lsh, queries, 5)
-	if math.IsNaN(r) || r < 0.5 {
-		t.Fatalf("LSH recall = %v, want ≥ 0.5", r)
+	stats, err := MeasureRecall(flat, lsh, queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(stats.Recall) || stats.Recall < 0.5 {
+		t.Fatalf("LSH recall = %v, want ≥ 0.5", stats.Recall)
+	}
+	if stats.FallbackFraction < 0 || stats.FallbackFraction > 1 {
+		t.Fatalf("fallback fraction = %v, want ∈ [0, 1]", stats.FallbackFraction)
+	}
+	if stats.Queries != 40 {
+		t.Fatalf("stats.Queries = %d, want 40", stats.Queries)
 	}
 }
 
 func TestRecallSelfIsOne(t *testing.T) {
 	x := randomData(50, 8, 8)
 	flat := NewFlatIndex(x)
-	if r := Recall(flat, flat, x, 3); math.Abs(r-1) > 1e-12 {
+	r, err := Recall(flat, flat, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
 		t.Fatalf("self recall = %v", r)
 	}
-	if !math.IsNaN(Recall(flat, flat, linalg.NewDense(0, 8), 3)) {
-		t.Fatal("no queries should give NaN")
+}
+
+func TestRecallDegenerateCasesError(t *testing.T) {
+	x := randomData(50, 8, 8)
+	flat := NewFlatIndex(x)
+	if _, err := Recall(flat, flat, linalg.NewDense(0, 8), 3); err == nil {
+		t.Fatal("no queries must error, not NaN")
+	}
+	if _, err := Recall(flat, flat, nil, 3); err == nil {
+		t.Fatal("nil queries must error")
+	}
+	if _, err := Recall(flat, flat, x, 0); err == nil {
+		t.Fatal("k = 0 must error, not NaN")
+	}
+	if _, err := Recall(flat, flat, x, -2); err == nil {
+		t.Fatal("negative k must error")
+	}
+	empty := NewFlatIndex(linalg.NewDense(0, 8))
+	if _, err := Recall(empty, empty, x, 3); err == nil {
+		t.Fatal("empty exact index must error")
+	}
+	// The error contract exists so a recall value is always JSON-encodable:
+	// NaN entries broke benchdiff report parsing.
+	if r, err := Recall(flat, flat, x, 3); err != nil || math.IsNaN(r) {
+		t.Fatalf("healthy recall = (%v, %v), want finite and nil", r, err)
 	}
 }
 

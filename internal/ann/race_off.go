@@ -1,0 +1,8 @@
+//go:build !race
+
+package ann
+
+// raceEnabled reports whether the race detector is compiled in; the
+// large-scale tests shrink their inputs under -race, where every memory
+// access costs an order of magnitude more.
+const raceEnabled = false

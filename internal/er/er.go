@@ -115,11 +115,28 @@ func (p CandidatePair) canonical() CandidatePair {
 	return p
 }
 
+// IndexBuilder constructs the ANN index the blocking stage searches over
+// one source's signature matrix — ann.Build curried with a config in
+// practice. nil means the exact FlatIndex.
+type IndexBuilder func(x *linalg.Dense) (ann.Index, error)
+
 // BlockTopK generates candidate pairs by top-k nearest-neighbour search of
 // every (kept) record against every other source's kept records, matching
 // the paper's LSH-style semantic blocking. keep may be nil to block all
 // records.
 func BlockTopK(enc embed.Encoder, sources []Source, keep map[schema.ElementID]bool, k int) ([]CandidatePair, error) {
+	return BlockTopKIndex(enc, sources, keep, k, nil)
+}
+
+// BlockTopKIndex is BlockTopK with the neighbour search running on a
+// caller-chosen index backend: each source's kept signatures are indexed
+// once, then every other source's records query it. A sublinear backend
+// (hnsw, ivf) turns the O(records²) pairwise scan into the index's query
+// cost, which is what makes 10⁵+-record blocking tractable.
+func BlockTopKIndex(enc embed.Encoder, sources []Source, keep map[schema.ElementID]bool, k int, build IndexBuilder) ([]CandidatePair, error) {
+	if build == nil {
+		build = func(x *linalg.Dense) (ann.Index, error) { return ann.NewFlatIndex(x), nil }
+	}
 	sets := make([]*embed.SignatureSet, len(sources))
 	for i, src := range sources {
 		set, err := EncodeSource(enc, src)
@@ -131,6 +148,19 @@ func BlockTopK(enc embed.Encoder, sources []Source, keep map[schema.ElementID]bo
 		}
 		sets[i] = set
 	}
+	// One index per target source, built once and queried by every other
+	// source.
+	idxs := make([]ann.Index, len(sets))
+	for j := range sets {
+		if sets[j].Len() == 0 {
+			continue
+		}
+		idx, err := build(sets[j].Matrix)
+		if err != nil {
+			return nil, fmt.Errorf("er: blocking index for source %s: %w", sources[j].Name, err)
+		}
+		idxs[j] = idx
+	}
 	seen := map[CandidatePair]bool{}
 	var out []CandidatePair
 	var sc ann.Scratch
@@ -140,7 +170,7 @@ func BlockTopK(enc embed.Encoder, sources []Source, keep map[schema.ElementID]bo
 			if i == j || sets[j].Len() == 0 {
 				continue
 			}
-			idx := ann.NewFlatIndex(sets[j].Matrix)
+			idx := idxs[j]
 			for q := 0; q < sets[i].Len(); q++ {
 				hits = idx.SearchInto(sets[i].Matrix.RowView(q), k, hits, &sc)
 				for _, hit := range hits {

@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"collabscope/internal/ann"
 	"collabscope/internal/embed"
+	"collabscope/internal/linalg"
 	"collabscope/internal/schema"
 )
 
@@ -191,5 +193,53 @@ func TestPerturbVariants(t *testing.T) {
 				t.Fatalf("bad field value %q", v)
 			}
 		}
+	}
+}
+
+func TestBlockTopKIndexBackends(t *testing.T) {
+	enc := testEncoder()
+	a, b, truth, err := GenerateSources(GenConfig{Shared: 40, NoiseA: 10, NoiseB: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := BlockTopK(enc, []Source{a, b}, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A nil builder is the flat index: identical output.
+	viaNil, err := BlockTopKIndex(enc, []Source{a, b}, nil, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaNil) != len(exact) {
+		t.Fatalf("nil builder: %d pairs, flat %d", len(viaNil), len(exact))
+	}
+	for i := range exact {
+		if viaNil[i] != exact[i] {
+			t.Fatalf("pair %d: %v vs %v", i, viaNil[i], exact[i])
+		}
+	}
+	// A sublinear backend must keep blocking completeness on this small,
+	// well-separated scenario.
+	exactEval := Evaluate(exact, truth)
+	for _, cfg := range []ann.Config{
+		{Kind: ann.KindHNSW, M: 8, Seed: 9},
+		{Kind: ann.KindIVF, NLists: 8, NProbe: 4, Seed: 9},
+	} {
+		cands, err := BlockTopKIndex(enc, []Source{a, b}, nil, 3, func(x *linalg.Dense) (ann.Index, error) {
+			return ann.Build(x, cfg)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := Evaluate(cands, truth); e.PC < exactEval.PC-0.05 {
+			t.Errorf("%s: PC = %.3f, flat PC = %.3f", cfg.Kind, e.PC, exactEval.PC)
+		}
+	}
+	// Builder errors propagate.
+	if _, err := BlockTopKIndex(enc, []Source{a, b}, nil, 3, func(x *linalg.Dense) (ann.Index, error) {
+		return ann.Build(x, ann.Config{Kind: ann.KindHNSW, M: 1})
+	}); err == nil {
+		t.Fatal("invalid index config must surface from blocking")
 	}
 }

@@ -33,10 +33,14 @@ type BenchReport struct {
 	Entries []BenchEntry `json:"entries"`
 }
 
-// BenchEntry is the wall time of one benchmark.
+// BenchEntry is the wall time of one benchmark, optionally annotated with
+// quality metrics (e.g. the index benches record recall and speedup).
+// Metric values must be finite — NaN is not JSON-encodable and used to
+// break report parsing (ann.Recall now errors instead of returning NaN).
 type BenchEntry struct {
-	Name   string `json:"name"`
-	WallNS int64  `json:"wall_ns"`
+	Name    string             `json:"name"`
+	WallNS  int64              `json:"wall_ns"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Entry returns the named entry.
@@ -217,5 +221,25 @@ func RunBench(cfg Config) (*BenchReport, error) {
 			return nil, err
 		}
 	}
+
+	// ANN index stages: fixed sizing (not cfg-scaled) so the entries stay
+	// comparable between -fast and full runs of the same machine.
+	idx, err := RunIndexBench(IndexBenchConfig{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries,
+		BenchEntry{Name: "index_build_hnsw", WallNS: idx.BuildHNSWNS},
+		BenchEntry{Name: "index_query_hnsw", WallNS: idx.QueryHNSWNS},
+		BenchEntry{Name: "index_query_ivf", WallNS: idx.QueryIVFNS},
+		BenchEntry{Name: "index_recall", WallNS: idx.RecallNS, Metrics: map[string]float64{
+			"recall_hnsw":           idx.RecallHNSW,
+			"recall_ivf":            idx.RecallIVF,
+			"recall_lsh":            idx.RecallLSH,
+			"speedup_hnsw":          idx.SpeedupHNSW,
+			"speedup_ivf":           idx.SpeedupIVF,
+			"lsh_fallback_fraction": idx.LSHFallbackFraction,
+		}},
+	)
 	return rep, nil
 }

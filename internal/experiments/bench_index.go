@@ -1,0 +1,143 @@
+package experiments
+
+// ANN index benchmark stages: build time, query latency, and
+// recall-vs-speedup for the sublinear index backends on a 2·10⁴-row
+// clustered synthetic signature set. RunBench folds the results into the
+// report as index_build_hnsw / index_query_hnsw / index_query_ivf /
+// index_recall, so benchdiff gates index regressions the same way it gates
+// the kernels.
+
+import (
+	"fmt"
+
+	"collabscope/internal/ann"
+	"collabscope/internal/linalg"
+	"collabscope/internal/obs"
+	"collabscope/internal/synth"
+)
+
+// IndexBenchConfig sizes the ANN index benchmark.
+type IndexBenchConfig struct {
+	// N is the signature-set size. Default 20 000.
+	N int
+	// Dim is the signature dimensionality. Default 32.
+	Dim int
+	// Clusters is the concept-cluster count of the synthetic set. Default
+	// N/400.
+	Clusters int
+	// Queries is the number of perturbed-row queries. Default 200.
+	Queries int
+	// K is the neighbour cardinality measured. Default 10.
+	K int
+	// Seed drives generation and index construction.
+	Seed int64
+}
+
+func (c IndexBenchConfig) withDefaults() IndexBenchConfig {
+	if c.N == 0 {
+		c.N = 20_000
+	}
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.Queries == 0 {
+		c.Queries = 200
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	return c
+}
+
+// IndexBenchResult carries the timed stages and quality metrics of one
+// index benchmark run.
+type IndexBenchResult struct {
+	// BuildHNSWNS / QueryHNSWNS / QueryIVFNS / QueryFlatNS are wall times:
+	// one HNSW build, and one full query pass per backend (after warmup).
+	BuildHNSWNS, QueryHNSWNS, QueryIVFNS, QueryFlatNS int64
+	// RecallNS is the wall time of the recall measurement stage.
+	RecallNS int64
+	// Recall@K of each approximate backend against the exact flat scan.
+	RecallHNSW, RecallIVF, RecallLSH float64
+	// Query-pass speedups over the flat scan.
+	SpeedupHNSW, SpeedupIVF float64
+	// LSHFallbackFraction is the fraction of LSH queries that degraded to
+	// the exact full scan — reported alongside recall because a fallback
+	// scores perfect recall while costing O(n), masking poor hashes.
+	LSHFallbackFraction float64
+}
+
+// RunIndexBench builds the synthetic set and measures every backend.
+func RunIndexBench(cfg IndexBenchConfig) (IndexBenchResult, error) {
+	cfg = cfg.withDefaults()
+	var res IndexBenchResult
+	x, err := synth.Signatures(synth.SignatureConfig{
+		N: cfg.N, Dim: cfg.Dim, Clusters: cfg.Clusters, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: index bench data: %w", err)
+	}
+	queries := synth.PerturbedQueries(x, cfg.Queries, 0.05, cfg.Seed+1)
+
+	sw := obs.NewStopwatch()
+	hnsw, err := ann.NewHNSWIndex(x, ann.HNSWConfig{M: 12, EfConstruction: 64, EfSearch: 48, Seed: cfg.Seed})
+	if err != nil {
+		return res, fmt.Errorf("experiments: index bench hnsw: %w", err)
+	}
+	res.BuildHNSWNS = int64(sw.Elapsed())
+
+	ivf, err := ann.NewIVFIndex(x, ann.IVFConfig{NLists: 128, NProbe: 8, Seed: cfg.Seed})
+	if err != nil {
+		return res, fmt.Errorf("experiments: index bench ivf: %w", err)
+	}
+	lsh, err := ann.NewLSHIndex(x, ann.LSHConfig{Seed: cfg.Seed})
+	if err != nil {
+		return res, fmt.Errorf("experiments: index bench lsh: %w", err)
+	}
+	flat := ann.NewFlatIndex(x)
+
+	res.QueryFlatNS = queryPassNS(flat, queries, cfg.K)
+	res.QueryHNSWNS = queryPassNS(hnsw, queries, cfg.K)
+	res.QueryIVFNS = queryPassNS(ivf, queries, cfg.K)
+	if res.QueryHNSWNS > 0 {
+		res.SpeedupHNSW = float64(res.QueryFlatNS) / float64(res.QueryHNSWNS)
+	}
+	if res.QueryIVFNS > 0 {
+		res.SpeedupIVF = float64(res.QueryFlatNS) / float64(res.QueryIVFNS)
+	}
+
+	sw = obs.NewStopwatch()
+	for _, b := range []struct {
+		idx    ann.Index
+		recall *float64
+	}{
+		{hnsw, &res.RecallHNSW},
+		{ivf, &res.RecallIVF},
+		{lsh, &res.RecallLSH},
+	} {
+		stats, err := ann.MeasureRecall(flat, b.idx, queries, cfg.K)
+		if err != nil {
+			return res, fmt.Errorf("experiments: index bench recall: %w", err)
+		}
+		*b.recall = stats.Recall
+		if b.idx == ann.Index(lsh) {
+			res.LSHFallbackFraction = stats.FallbackFraction
+		}
+	}
+	res.RecallNS = int64(sw.Elapsed())
+	return res, nil
+}
+
+// queryPassNS times one warmed SearchInto pass over the query rows.
+func queryPassNS(idx ann.Index, queries *linalg.Dense, k int) int64 {
+	var sc ann.Scratch
+	var dst []ann.Neighbor
+	for q := 0; q < queries.Rows(); q++ { // warmup
+		dst = idx.SearchInto(queries.RowView(q), k, dst, &sc)
+	}
+	sw := obs.NewStopwatch()
+	for q := 0; q < queries.Rows(); q++ {
+		dst = idx.SearchInto(queries.RowView(q), k, dst, &sc)
+	}
+	return int64(sw.Elapsed())
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestRunIndexBench(t *testing.T) {
+	res, err := RunIndexBench(IndexBenchConfig{N: 3000, Dim: 16, Queries: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BuildHNSWNS <= 0 || res.QueryHNSWNS <= 0 || res.QueryIVFNS <= 0 || res.QueryFlatNS <= 0 {
+		t.Fatalf("non-positive stage times: %+v", res)
+	}
+	for name, r := range map[string]float64{
+		"hnsw": res.RecallHNSW, "ivf": res.RecallIVF, "lsh": res.RecallLSH,
+	} {
+		if r <= 0 || r > 1 {
+			t.Errorf("recall %s = %v, want ∈ (0, 1]", name, r)
+		}
+	}
+	if res.SpeedupHNSW <= 0 || res.SpeedupIVF <= 0 {
+		t.Fatalf("speedups = %v, %v", res.SpeedupHNSW, res.SpeedupIVF)
+	}
+	if f := res.LSHFallbackFraction; f < 0 || f > 1 {
+		t.Fatalf("lsh fallback fraction = %v", f)
+	}
+}

@@ -245,6 +245,57 @@ func TestTopKIntoMatchesStableSort(t *testing.T) {
 	}
 }
 
+// TestTopKIntoPropertyKGrid pins the full ordering contract the ANN
+// indexes build on — a stable ascending (value, index) sort prefix — on
+// the boundary cardinalities k ∈ {0, 1, n, n+1} and under heavy ties
+// (all-equal and two-value inputs), with the scratch slice reused across
+// every call. The contract holds for NaN-free values only; the ann
+// package pins that precondition at its call sites
+// (TestNaNFreeDistancePrecondition).
+func TestTopKIntoPropertyKGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var scratch []int
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(40)
+		vals := make([]float64, n)
+		switch trial % 3 {
+		case 0: // all equal — every position ties; order must be by index
+			for i := range vals {
+				vals[i] = 2.5
+			}
+		case 1: // two distinct values — long tie runs
+			for i := range vals {
+				vals[i] = float64(rng.Intn(2))
+			}
+		default:
+			for i := range vals {
+				vals[i] = rng.NormFloat64()
+			}
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(x, y int) bool { return vals[want[x]] < vals[want[y]] })
+		for _, k := range []int{0, 1, n, n + 1} {
+			scratch = linalg.TopKInto(vals, k, scratch)
+			kk := k
+			if kk > n {
+				kk = n
+			}
+			if len(scratch) != kk {
+				t.Fatalf("trial %d (n=%d k=%d): len = %d, want %d", trial, n, k, len(scratch), kk)
+			}
+			for i := 0; i < kk; i++ {
+				if scratch[i] != want[i] {
+					t.Fatalf("trial %d (n=%d k=%d): TopKInto = %v, stable (value,index) sort = %v",
+						trial, n, k, scratch, want[:kk])
+				}
+			}
+		}
+	}
+}
+
 func TestTopKIntoEdgeCases(t *testing.T) {
 	if got := linalg.TopKInto([]float64{3, 1}, 0, nil); len(got) != 0 {
 		t.Fatalf("k=0: got %v, want empty", got)

@@ -128,25 +128,60 @@ func (c Cluster) Match(a, b *embed.SignatureSet) []Pair {
 	return out
 }
 
+// IndexConfig selects and parameterises the ANN index backend of the LSH
+// matcher — an alias of ann.Config so callers outside internal/ can carry
+// the full backend configuration (kind, tables/bits, M/ef, nlists/nprobe,
+// seed) instead of the seed-only subset that used to be plumbed through.
+type IndexConfig = ann.Config
+
 // LSH links each element to its top-k nearest same-kind neighbours in the
 // other schema, searched in both directions — the paper's LSH matcher,
-// implemented like FAISS IndexFlatL2 (exact flat search).
+// implemented like FAISS IndexFlatL2 (exact flat search) by default, with
+// sublinear backends (lsh, hnsw, ivf) selected through Index.
 type LSH struct {
 	// K is the top-k cardinality, e.g. 1, 5, 20.
 	K int
 	// Approximate switches from the exact flat index to the
-	// random-hyperplane LSH index (the extension variant).
+	// random-hyperplane LSH index. Legacy shorthand for
+	// Index.Kind = ann.KindLSH; ignored when Index.Kind is set.
 	Approximate bool
-	// Seed drives the approximate index's hyperplanes.
+	// Seed drives the approximate index's randomised construction. Used
+	// when Index.Seed is zero.
 	Seed int64
+	// Index selects the ANN backend and its full parameterisation. The
+	// zero value defers to Approximate/Seed (flat or default-parameter
+	// LSH). Validate the config at construction time (the registry and
+	// NewIndexedLSHMatcher do) — Match cannot report errors.
+	Index IndexConfig
+}
+
+// indexConfig resolves the effective backend config from the new Index
+// field and the legacy Approximate/Seed fields.
+func (l LSH) indexConfig() IndexConfig {
+	cfg := l.Index
+	if cfg.Kind == "" {
+		if l.Approximate {
+			cfg.Kind = ann.KindLSH
+		} else {
+			cfg.Kind = ann.KindFlat
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = l.Seed
+	}
+	return cfg
 }
 
 // Name implements Matcher.
 func (l LSH) Name() string {
-	if l.Approximate {
+	switch cfg := l.indexConfig(); cfg.Kind {
+	case ann.KindLSH:
 		return fmt.Sprintf("LSH*(%d)", l.K)
+	case ann.KindHNSW, ann.KindIVF:
+		return fmt.Sprintf("LSH[%s](%d)", cfg.Kind, l.K)
+	default:
+		return fmt.Sprintf("LSH(%d)", l.K)
 	}
-	return fmt.Sprintf("LSH(%d)", l.K)
 }
 
 // Match implements Matcher.
@@ -173,15 +208,10 @@ func (l LSH) direction(queries, target *embed.SignatureSet, add func(Pair)) {
 	if target.Len() == 0 || queries.Len() == 0 {
 		return
 	}
-	var idx ann.Index
-	if l.Approximate {
-		li, err := ann.NewLSHIndex(target.Matrix, ann.LSHConfig{Seed: l.Seed})
-		if err != nil {
-			return
-		}
-		idx = li
-	} else {
-		idx = ann.NewFlatIndex(target.Matrix)
+	idx, err := ann.Build(target.Matrix, l.indexConfig())
+	if err != nil {
+		// Unreachable for configs validated at construction time.
+		return
 	}
 	var sc ann.Scratch
 	var hits []ann.Neighbor

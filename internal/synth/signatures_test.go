@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"testing"
+
+	"collabscope/internal/linalg"
+)
+
+func TestSignaturesDeterministicAndClustered(t *testing.T) {
+	cfg := SignatureConfig{N: 2000, Dim: 16, Clusters: 10, Spread: 0.1, Seed: 7}
+	a, err := Signatures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Signatures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != 2000 || a.Cols() != 16 {
+		t.Fatalf("shape = %d×%d", a.Rows(), a.Cols())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		ra, rb := a.RowView(i), b.RowView(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d col %d: %v vs %v — generation must be seed-deterministic", i, j, ra[j], rb[j])
+			}
+		}
+	}
+	// Same-cluster rows (i, i+Clusters) must sit much closer than
+	// rows of different clusters at this spread.
+	same := linalg.SquaredDistance(a.RowView(0), a.RowView(10))
+	cross := linalg.SquaredDistance(a.RowView(0), a.RowView(1))
+	if same >= cross {
+		t.Fatalf("same-cluster distance %v ≥ cross-cluster %v", same, cross)
+	}
+}
+
+func TestSignaturesValidation(t *testing.T) {
+	if _, err := Signatures(SignatureConfig{N: 0}); err == nil {
+		t.Fatal("N = 0 must error")
+	}
+	if _, err := Signatures(SignatureConfig{N: 10, Spread: -1}); err == nil {
+		t.Fatal("negative spread must error")
+	}
+	// Defaults: single row collapses to one cluster.
+	x, err := Signatures(SignatureConfig{N: 1, Seed: 3})
+	if err != nil || x.Rows() != 1 || x.Cols() != 32 {
+		t.Fatalf("defaults: %v %v", x, err)
+	}
+}
+
+func TestPerturbedQueriesStayNearSource(t *testing.T) {
+	x, err := Signatures(SignatureConfig{N: 500, Dim: 8, Clusters: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := PerturbedQueries(x, 20, 0.01, 12)
+	if q.Rows() != 20 || q.Cols() != 8 {
+		t.Fatalf("shape = %d×%d", q.Rows(), q.Cols())
+	}
+	// Every query must have some row within the perturbation scale.
+	for i := 0; i < q.Rows(); i++ {
+		best := linalg.SquaredDistance(q.RowView(i), x.RowView(0))
+		for r := 1; r < x.Rows(); r++ {
+			if d := linalg.SquaredDistance(q.RowView(i), x.RowView(r)); d < best {
+				best = d
+			}
+		}
+		if best > 0.01 {
+			t.Fatalf("query %d: nearest row at %v, want ≤ 0.01", i, best)
+		}
+	}
+}

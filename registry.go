@@ -21,6 +21,7 @@ type constructorSpec struct {
 	seed     int64
 	models   int
 	epochs   int
+	index    IndexConfig
 }
 
 // WithParam sets the algorithm's primary numeric parameter: the threshold
@@ -44,6 +45,18 @@ func WithEnsemble(models, epochs int) ConstructorOption {
 	return func(s *constructorSpec) { s.models = models; s.epochs = epochs }
 }
 
+// WithIndexConfig sets the full ANN index parameterisation of the lsh
+// matcher family ("lsh", "lsh-approx", "lsh-hnsw", "lsh-ivf"): Tables and
+// Bits for lsh-approx, M/EfConstruction/EfSearch for lsh-hnsw, NLists and
+// NProbe for lsh-ivf. The registry name decides the index kind — a Kind
+// set here is overridden — and a zero Seed falls back to WithSeed. The
+// config is validated at construction, so a misparameterisation (e.g.
+// Bits > 64) errors instead of being silently discarded. Other algorithms
+// ignore this option.
+func WithIndexConfig(cfg IndexConfig) ConstructorOption {
+	return func(s *constructorSpec) { s.index = cfg }
+}
+
 func buildSpec(opts []ConstructorOption) constructorSpec {
 	s := constructorSpec{seed: 1, models: 5, epochs: 30}
 	for _, o := range opts {
@@ -59,33 +72,45 @@ func (s constructorSpec) paramOr(def float64) float64 {
 	return def
 }
 
-var detectorRegistry = map[string]func(constructorSpec) Detector{
-	"zscore": func(constructorSpec) Detector { return NewZScoreDetector() },
-	"lof":    func(s constructorSpec) Detector { return NewLOFDetector(int(s.paramOr(20))) },
-	"pca":    func(s constructorSpec) Detector { return NewPCADetector(s.paramOr(0.5)) },
-	"autoencoder": func(s constructorSpec) Detector {
-		return NewAutoencoderDetector(s.models, s.epochs, s.seed)
+var detectorRegistry = map[string]func(constructorSpec) (Detector, error){
+	"zscore": func(constructorSpec) (Detector, error) { return NewZScoreDetector(), nil },
+	"lof":    func(s constructorSpec) (Detector, error) { return NewLOFDetector(int(s.paramOr(20))), nil },
+	"pca":    func(s constructorSpec) (Detector, error) { return NewPCADetector(s.paramOr(0.5)), nil },
+	"autoencoder": func(s constructorSpec) (Detector, error) {
+		return NewAutoencoderDetector(s.models, s.epochs, s.seed), nil
 	},
-	"knn":         func(s constructorSpec) Detector { return NewKNNDetector(int(s.paramOr(10))) },
-	"mahalanobis": func(constructorSpec) Detector { return NewMahalanobisDetector() },
-	"isoforest": func(s constructorSpec) Detector {
-		return NewIsolationForestDetector(int(s.paramOr(100)), s.seed)
+	"knn":         func(s constructorSpec) (Detector, error) { return NewKNNDetector(int(s.paramOr(10))), nil },
+	"mahalanobis": func(constructorSpec) (Detector, error) { return NewMahalanobisDetector(), nil },
+	"isoforest": func(s constructorSpec) (Detector, error) {
+		return NewIsolationForestDetector(int(s.paramOr(100)), s.seed), nil
 	},
 }
 
 var detectorAliases = map[string]string{"ae": "autoencoder", "iforest": "isoforest"}
 
-var matcherRegistry = map[string]func(constructorSpec) Matcher{
-	"sim":     func(s constructorSpec) Matcher { return NewSimMatcher(s.paramOr(0.6)) },
-	"cluster": func(s constructorSpec) Matcher { return NewClusterMatcher(int(s.paramOr(5)), s.seed) },
-	"lsh":     func(s constructorSpec) Matcher { return NewLSHMatcher(int(s.paramOr(5))) },
-	"lsh-approx": func(s constructorSpec) Matcher {
-		return NewApproxLSHMatcher(int(s.paramOr(5)), s.seed)
-	},
-	"coma":  func(s constructorSpec) Matcher { return NewCompositeMatcher(s.paramOr(0.6)) },
-	"flood": func(s constructorSpec) Matcher { return NewFloodingMatcher(s.paramOr(0.8)) },
-	"name":  func(s constructorSpec) Matcher { return NewNameMatcher(s.paramOr(0.7)) },
-	"hac":   func(s constructorSpec) Matcher { return NewHACMatcher(s.paramOr(0.8)) },
+var matcherRegistry = map[string]func(constructorSpec) (Matcher, error){
+	"sim":        func(s constructorSpec) (Matcher, error) { return NewSimMatcher(s.paramOr(0.6)), nil },
+	"cluster":    func(s constructorSpec) (Matcher, error) { return NewClusterMatcher(int(s.paramOr(5)), s.seed), nil },
+	"lsh":        func(s constructorSpec) (Matcher, error) { return lshFromSpec(s, IndexFlat) },
+	"lsh-approx": func(s constructorSpec) (Matcher, error) { return lshFromSpec(s, IndexLSH) },
+	"lsh-hnsw":   func(s constructorSpec) (Matcher, error) { return lshFromSpec(s, IndexHNSW) },
+	"lsh-ivf":    func(s constructorSpec) (Matcher, error) { return lshFromSpec(s, IndexIVF) },
+	"coma":       func(s constructorSpec) (Matcher, error) { return NewCompositeMatcher(s.paramOr(0.6)), nil },
+	"flood":      func(s constructorSpec) (Matcher, error) { return NewFloodingMatcher(s.paramOr(0.8)), nil },
+	"name":       func(s constructorSpec) (Matcher, error) { return NewNameMatcher(s.paramOr(0.7)), nil },
+	"hac":        func(s constructorSpec) (Matcher, error) { return NewHACMatcher(s.paramOr(0.8)), nil },
+}
+
+// lshFromSpec builds an LSH-family matcher with the registry name's index
+// kind and the spec's full index parameterisation. The numeric parameter
+// is the top-k cardinality; the seed falls back to WithSeed.
+func lshFromSpec(s constructorSpec, kind IndexKind) (Matcher, error) {
+	cfg := s.index
+	cfg.Kind = kind
+	if cfg.Seed == 0 {
+		cfg.Seed = s.seed
+	}
+	return NewIndexedLSHMatcher(int(s.paramOr(5)), cfg)
 }
 
 var matcherAliases = map[string]string{"composite": "coma", "flooding": "flood"}
@@ -96,7 +121,7 @@ func Detectors() []string { return registryNames(detectorRegistry) }
 // Matchers returns the registered matcher names, sorted.
 func Matchers() []string { return registryNames(matcherRegistry) }
 
-func registryNames[T any](reg map[string]func(constructorSpec) T) []string {
+func registryNames[T any](reg map[string]func(constructorSpec) (T, error)) []string {
 	names := make([]string, 0, len(reg))
 	for name := range reg {
 		names = append(names, name)
@@ -117,7 +142,7 @@ func NewMatcherByName(name string, opts ...ConstructorOption) (Matcher, error) {
 	return byName("matcher", matcherRegistry, matcherAliases, name, opts)
 }
 
-func byName[T any](kind string, reg map[string]func(constructorSpec) T,
+func byName[T any](kind string, reg map[string]func(constructorSpec) (T, error),
 	aliases map[string]string, name string, opts []ConstructorOption) (T, error) {
 
 	key := strings.ToLower(strings.TrimSpace(name))
@@ -130,28 +155,30 @@ func byName[T any](kind string, reg map[string]func(constructorSpec) T,
 		return zero, fmt.Errorf("collabscope: unknown %s %q (have %s)",
 			kind, name, strings.Join(registryNames(reg), ", "))
 	}
-	return build(buildSpec(opts)), nil
+	return build(buildSpec(opts))
 }
 
 // ParseDetector resolves a "name" or "name:param" spec string (e.g.
 // "pca:0.5", "lof:20") through the registry — the shared parser of the
-// command-line tools.
-func ParseDetector(spec string) (Detector, error) {
-	name, opts, err := parseSpec(spec)
+// command-line tools. Extra options apply after the spec's parameter.
+func ParseDetector(spec string, opts ...ConstructorOption) (Detector, error) {
+	name, parsed, err := parseSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	return NewDetectorByName(name, opts...)
+	return NewDetectorByName(name, append(parsed, opts...)...)
 }
 
 // ParseMatcher resolves a "name" or "name:param" spec string (e.g.
-// "sim:0.6", "lsh:5") through the registry.
-func ParseMatcher(spec string) (Matcher, error) {
-	name, opts, err := parseSpec(spec)
+// "sim:0.6", "lsh:5", "lsh-hnsw:10") through the registry. Extra options
+// apply after the spec's parameter — the CLIs use this to pass index
+// flags via WithIndexConfig.
+func ParseMatcher(spec string, opts ...ConstructorOption) (Matcher, error) {
+	name, parsed, err := parseSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	return NewMatcherByName(name, opts...)
+	return NewMatcherByName(name, append(parsed, opts...)...)
 }
 
 func parseSpec(spec string) (string, []ConstructorOption, error) {

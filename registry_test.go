@@ -10,7 +10,7 @@ func TestRegistryNamesCoverAllConstructors(t *testing.T) {
 	if got := Detectors(); strings.Join(got, ",") != strings.Join(wantDet, ",") {
 		t.Fatalf("Detectors() = %v, want %v", got, wantDet)
 	}
-	wantMat := []string{"cluster", "coma", "flood", "hac", "lsh", "lsh-approx", "name", "sim"}
+	wantMat := []string{"cluster", "coma", "flood", "hac", "lsh", "lsh-approx", "lsh-hnsw", "lsh-ivf", "name", "sim"}
 	if got := Matchers(); strings.Join(got, ",") != strings.Join(wantMat, ",") {
 		t.Fatalf("Matchers() = %v, want %v", got, wantMat)
 	}
@@ -55,6 +55,38 @@ func TestNewMatcherByName(t *testing.T) {
 	}
 	if _, err := NewMatcherByName("nope"); err == nil {
 		t.Fatal("unknown matcher should fail")
+	}
+}
+
+func TestMatcherIndexConfigPlumbing(t *testing.T) {
+	if m, err := NewMatcherByName("lsh-hnsw", WithParam(10)); err != nil || m.Name() != "LSH[hnsw](10)" {
+		t.Fatalf("lsh-hnsw: %v %v", m, err)
+	}
+	if m, err := NewMatcherByName("lsh-ivf"); err != nil || m.Name() != "LSH[ivf](5)" {
+		t.Fatalf("lsh-ivf: %v %v", m, err)
+	}
+	// The full index parameterisation flows through — Tables/Bits used to be
+	// silently discarded by the seed-only plumbing.
+	m, err := NewMatcherByName("lsh-approx", WithIndexConfig(IndexConfig{Tables: 12, Bits: 10}))
+	if err != nil {
+		t.Fatalf("lsh-approx with index config: %v", err)
+	}
+	if m.Name() != "LSH*(5)" {
+		t.Fatalf("lsh-approx name = %q", m.Name())
+	}
+	// ... and is validated at construction, not silently dropped at match
+	// time.
+	if _, err := NewMatcherByName("lsh-approx", WithIndexConfig(IndexConfig{Bits: 100})); err == nil {
+		t.Fatal("bits > 64 must fail construction")
+	}
+	if _, err := NewMatcherByName("lsh-hnsw", WithIndexConfig(IndexConfig{M: 1})); err == nil {
+		t.Fatal("hnsw M = 1 must fail construction")
+	}
+	if _, err := ParseMatcher("lsh-ivf:5", WithIndexConfig(IndexConfig{NProbe: -1})); err == nil {
+		t.Fatal("negative nprobe must fail construction")
+	}
+	if _, err := ParseMatcher("lsh-hnsw:3", WithIndexConfig(IndexConfig{M: 8, EfSearch: 32})); err != nil {
+		t.Fatalf("ParseMatcher with index opts: %v", err)
 	}
 }
 
