@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzz-smoke chaos ci bench bench-parallel bench-json bench-diff lintobs cover serve-smoke
+.PHONY: all build test race vet fmt fuzz-smoke chaos chaos-slo ci bench bench-parallel bench-json bench-diff lintobs cover serve-smoke
 
 all: build
 
@@ -37,6 +37,15 @@ chaos:
 		./internal/parallel ./internal/faultinject ./internal/exchange \
 		./internal/schema ./internal/embed ./internal/checkpoint \
 		./internal/core ./internal/experiments
+
+# chaos-slo runs the replicated-fleet chaos SLO harness (see DESIGN.md §14):
+# a three-replica scoping fleet is driven through kill, restart, stall,
+# corrupt, and drain schedules while the client fails over, hedges, and
+# circuit-breaks. Asserts 100% availability, zero inconsistent verdicts,
+# bit-identical post-restart ETags, typed drain refusals, and — via
+# leakcheck — zero goroutine leaks after drain.
+chaos-slo:
+	$(GO) test -count=1 -run TestChaosSLO -v ./internal/experiments
 
 # ci is the tier-1 verification gate: formatting, vet, the full test suite
 # under the race detector, and the wire-reader fuzz smoke.

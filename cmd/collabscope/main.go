@@ -36,8 +36,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"collabscope"
 )
@@ -86,6 +89,7 @@ func runServe(args []string) {
 	registry := fs.String("registry", "", "persist the model registry in this directory (survives restarts)")
 	queue := fs.Int("queue", 0, "max concurrent assess computations before 429 load shedding (default 64)")
 	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight assess cap (default: -queue)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM before it is cancelled")
 	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 	if len(fs.Args()) == 0 && *registry == "" {
@@ -132,7 +136,32 @@ func runServe(args []string) {
 	if *pprofFlag {
 		fmt.Printf("pprof enabled at http://%s/debug/pprof/\n", ln.Addr())
 	}
-	fatal(http.Serve(ln, handler))
+
+	// Serve until SIGTERM/SIGINT, then drain: readiness flips to 503 and new
+	// work is refused immediately, in-flight flights get -drain-timeout to
+	// finish, the registry manifest is flushed, and only then does the
+	// listener close — the graceful-rollout contract of DESIGN.md §14.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "collabscope: shutdown signal received, draining")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := handler.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "collabscope: drain: %v\n", err)
+		}
+		if err := hs.Shutdown(dctx); err != nil {
+			_ = hs.Close()
+		}
+		fmt.Fprintln(os.Stderr, "collabscope: drained")
+	}
 }
 
 // runPush uploads trained model files into a running service's registry.

@@ -7,12 +7,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"reflect"
+	"time"
 
 	"collabscope/internal/core"
 	"collabscope/internal/embed"
@@ -32,9 +35,9 @@ func fatalf(format string, args ...any) {
 	fatal(fmt.Errorf(format, args...))
 }
 
-// serve boots a hub over the registry directory and returns its base URL
-// plus a shutdown func.
-func serve(reg *obs.Registry, dir string) (string, func()) {
+// serve boots a hub over the registry directory and returns the server,
+// its base URL, and a shutdown func.
+func serve(reg *obs.Registry, dir string) (*exchange.Server, string, func()) {
 	srv, err := exchange.NewServer(
 		exchange.WithServerMetrics(reg),
 		exchange.WithRegistryDir(dir),
@@ -45,7 +48,26 @@ func serve(reg *obs.Registry, dir string) (string, func()) {
 	fatal(err)
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on shutdown
-	return "http://" + ln.Addr().String(), func() { fatal(hs.Close()) }
+	return srv, "http://" + ln.Addr().String(), func() { fatal(hs.Close()) }
+}
+
+// probe GETs a health route and returns the status code plus the decoded
+// HealthResponse.
+func probe(base, route string) (int, exchange.HealthResponse) {
+	resp, err := http.Get(base + route)
+	fatal(err)
+	defer resp.Body.Close()
+	var hr exchange.HealthResponse
+	fatal(json.NewDecoder(resp.Body).Decode(&hr))
+	return resp.StatusCode, hr
+}
+
+// expectHealth asserts one probe outcome.
+func expectHealth(base, route string, wantCode int, wantStatus string) {
+	code, hr := probe(base, route)
+	if code != wantCode || hr.Status != wantStatus {
+		fatalf("%s answered %d %q, want %d %q", route, code, hr.Status, wantCode, wantStatus)
+	}
 }
 
 func main() {
@@ -55,7 +77,12 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	reg := obs.NewRegistry()
-	base, stop := serve(reg, dir)
+	_, base, stop := serve(reg, dir)
+
+	// Health surface: alive and ready before any model is uploaded.
+	expectHealth(base, "/v1/healthz", http.StatusOK, "ok")
+	expectHealth(base, "/v1/readyz", http.StatusOK, "ok")
+	fmt.Println("servesmoke: healthz/readyz probes OK")
 
 	// Mint one tenant's schemas, train a model per schema, and upload them
 	// all through the versioned API.
@@ -105,7 +132,7 @@ func main() {
 	// Restart the hub over the same registry directory: the verdicts must
 	// come back bit-identical without re-uploading anything.
 	stop()
-	base2, stop2 := serve(obs.NewRegistry(), dir)
+	srv2, base2, stop2 := serve(obs.NewRegistry(), dir)
 	defer stop2()
 	res2, err := exchange.NewClient().Assess(ctx, base2, tenant, req)
 	fatal(err)
@@ -124,5 +151,38 @@ func main() {
 		fatalf("metrics snapshot records %d assess requests, want ≥ 1", snap.Counters["service.requests"])
 	}
 	fmt.Println("servesmoke: /v1/metrics scrape OK")
+
+	// Drain phase: the restarted hub drains cleanly — readiness flips to
+	// 503, new work is refused with the typed draining error, liveness
+	// stays green, and GET routes keep serving.
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	fatal(srv2.Drain(dctx))
+	expectHealth(base2, "/v1/healthz", http.StatusOK, "ok")
+	expectHealth(base2, "/v1/readyz", http.StatusServiceUnavailable, "draining")
+	body, err := json.Marshal(req)
+	fatal(err)
+	resp, err = http.Post(base2+"/v1/assess", "application/json", bytes.NewReader(body))
+	fatal(err)
+	var envelope exchange.ErrorEnvelope
+	fatal(json.NewDecoder(resp.Body).Decode(&envelope))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Error.Code != exchange.CodeDraining {
+		fatalf("assess on a draining hub answered %d %q, want %d %q",
+			resp.StatusCode, envelope.Error.Code, http.StatusServiceUnavailable, exchange.CodeDraining)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		fatalf("draining hub sent no Retry-After header")
+	}
+	mreq, err := http.NewRequest(http.MethodGet, base2+"/v1/models/"+models[0].Schema, nil)
+	fatal(err)
+	mreq.Header.Set(exchange.TenantHeader, tenant)
+	mresp, err := http.DefaultClient.Do(mreq)
+	fatal(err)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		fatalf("draining hub stopped serving models: status %d", mresp.StatusCode)
+	}
+	fmt.Println("servesmoke: drain phase OK (readyz 503, typed refusals, GETs still served)")
 	fmt.Println("servesmoke: PASS")
 }

@@ -169,6 +169,7 @@ type Pipeline struct {
 	httpClient *http.Client
 	retry      RetryPolicy
 	hasRetry   bool
+	exchOpts   []exchange.ClientOption
 	exchOnce   sync.Once
 	exch       *exchange.Client
 }

@@ -100,7 +100,25 @@ type Client struct {
 	// disabled no-op path.
 	reg *obs.Registry
 
-	// cache maps model URL → the last validated model and its ETag.
+	// epoch anchors the client's monotonic clock; now reads it and is
+	// injectable so breaker-cooldown tests can drive a fake clock.
+	epoch obs.Stopwatch
+	now   func() time.Duration
+
+	// Replica failover and hedged GETs (replica.go).
+	groups       []replicaGroup
+	hedge        HedgePolicy
+	hedgeEnabled bool
+
+	// Per-peer circuit breaking (breaker.go).
+	breakPolicy  BreakerPolicy
+	breakEnabled bool
+	breakMu      sync.Mutex
+	breakers     map[string]*breaker
+
+	// cache maps model URL → the last validated model and its ETag. Keys
+	// are the caller's (logical) URLs, so a replica group shares one cache
+	// entry — content-hash ETags make replicas interchangeable.
 	cacheMu sync.Mutex
 	cache   map[string]cacheEntry
 }
@@ -164,7 +182,9 @@ func NewClient(opts ...ClientOption) *Client {
 		hc:     http.DefaultClient,
 		policy: DefaultRetryPolicy(),
 		randN:  func(n time.Duration) time.Duration { return rand.N(n) },
+		epoch:  obs.NewStopwatch(),
 	}
+	c.now = c.epoch.Elapsed
 	for _, o := range opts {
 		o(c)
 	}
@@ -205,14 +225,21 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("http status %d: %.120s", e.code, msg)
 }
 
-func retryable(err error) bool {
+// retryable decides whether an attempt error is worth another try.
+// callerErr is the caller's own context error at the time the attempt
+// finished: when non-nil the caller is done and nothing retries. With a
+// live caller, a DeadlineExceeded can only come from the attempt's child
+// timeout — a slow peer, the textbook retry case — so timeouts fall
+// through to true here rather than being conflated with a dead caller.
+func retryable(err, callerErr error) bool {
+	if callerErr != nil {
+		return false
+	}
 	var se *statusError
 	if errors.As(err, &se) {
 		return se.code >= 500 || se.code == http.StatusTooManyRequests
 	}
-	// Network-level failures (refused, reset, timeout) are worth retrying
-	// unless the caller's context is already done.
-	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	return !errors.Is(err, context.Canceled)
 }
 
 // peerPrefix derives the per-peer metric-name prefix from a model URL:
@@ -256,59 +283,176 @@ func (c *Client) get(ctx context.Context, rawURL, inm string) (body []byte, etag
 	return c.do(ctx, request{method: http.MethodGet, url: rawURL, inm: inm})
 }
 
-// do runs one request through the retry loop: per-attempt timeouts, capped
-// exponential backoff with jitter, and the server's Retry-After advice as
-// a floor under the backoff.
+// do runs one request through the retry/failover loop. The URL resolves to
+// its replica candidates (just the URL itself without a replica group);
+// attempt k goes to candidate k mod n, hosts with open breakers are
+// skipped, and failover to a not-yet-tried replica is immediate — backoff
+// only paces the schedule once the rotation has wrapped. Each attempt's
+// timeout is its fair share of the caller's remaining deadline budget
+// (capped by the policy timeout), and idempotent GETs may hedge a second
+// replica after the primary's observed latency quantile.
 func (c *Client) do(ctx context.Context, rq request) (body []byte, etag string, notModified bool, err error) {
 	peer := ""
 	if c.reg != nil {
 		peer = peerPrefix(rq.url)
 	}
+	candidates := c.resolve(rq.url)
+	total := c.policy.MaxAttempts
+	if len(candidates) > total {
+		total = len(candidates)
+	}
 	var lastErr error
-	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+	lastHost := ""
+	for attempt := 0; attempt < total; attempt++ {
 		if attempt > 0 {
 			c.count(peer, "retries")
-			if serr := sleepContext(ctx, c.backoff(attempt, lastErr)); serr != nil {
-				return nil, "", false, fmt.Errorf("giving up after %d attempts: %w (last error: %v)", attempt, serr, lastErr)
+			if attempt >= len(candidates) {
+				if serr := sleepContext(ctx, c.backoff(attempt, lastErr)); serr != nil {
+					return nil, "", false, fmt.Errorf("giving up after %d attempts: %w (last error: %v)", attempt, serr, lastErr)
+				}
 			}
 		}
+		target, host, br, ok := c.pick(candidates, attempt, c.now())
+		if !ok {
+			c.reg.Counter("exchange.breaker.short_circuits").Inc()
+			c.count(peer, "request_failures")
+			return nil, "", false, &CircuitOpenError{Host: host}
+		}
+		if attempt > 0 && lastHost != "" && host != lastHost {
+			c.count(peer, "failovers")
+		}
+		lastHost = host
+		timeout, terr := c.attemptTimeout(ctx, attempt, total)
+		if terr != nil {
+			c.count(peer, "request_failures")
+			if lastErr != nil {
+				return nil, "", false, fmt.Errorf("deadline budget exhausted after %d attempts: %w (last error: %v)", attempt, terr, lastErr)
+			}
+			return nil, "", false, terr
+		}
+		var res attemptResult
 		sw := c.reg.Clock()
-		body, etag, notModified, lastErr = c.once(ctx, rq)
+		if backup, hok := c.hedgeBackup(rq, candidates, attempt, host); hok {
+			res = c.onceHedged(ctx, rq, target, backup, timeout)
+		} else {
+			b, et, nm, oerr := c.once(ctx, rq, target, timeout)
+			res = attemptResult{body: b, etag: et, notModified: nm, err: oerr, url: target}
+		}
 		c.reg.Histogram("exchange.request").ObserveSince(sw)
 		if peer != "" {
 			c.reg.Histogram(peer + "request").ObserveSince(sw)
 		}
-		if lastErr == nil {
-			return body, etag, notModified, nil
+		if tp := peerPrefixHost(hostOf(res.url)); tp != "" && tp != peer {
+			c.reg.Histogram(tp + "request").ObserveSince(sw)
 		}
-		if ctx.Err() != nil || !retryable(lastErr) {
+		callerErr := ctx.Err()
+		// Fold the outcome into the answering host's breaker. When a hedge
+		// won on the backup, the primary's half-open probe (if any) is
+		// abandoned rather than judged — it never reported.
+		if res.url != target && br != nil {
+			br.abandon()
+		}
+		if rb := c.breakerFor(hostOf(res.url)); rb != nil {
+			if callerErr == nil {
+				success := res.err == nil || !hostFailure(res.err)
+				c.noteTransition(hostOf(res.url), rb, rb.record(success, c.now()))
+			} else {
+				rb.abandon()
+			}
+		}
+		if res.err == nil {
+			return res.body, res.etag, res.notModified, nil
+		}
+		lastErr = res.err
+		if !retryable(lastErr, callerErr) {
 			c.count(peer, "request_failures")
 			return nil, "", false, lastErr
 		}
 	}
 	c.count(peer, "request_failures")
-	return nil, "", false, fmt.Errorf("after %d attempts: %w", c.policy.MaxAttempts, lastErr)
+	return nil, "", false, fmt.Errorf("after %d attempts: %w", total, lastErr)
 }
 
-// once performs a single attempt under the policy's per-request timeout.
+// hostFailure reports whether an attempt error indicts the host: 5xx and
+// 429 do, any other HTTP answer proves the host alive, and everything else
+// (refused, reset, attempt timeout) is a host-level failure.
+func hostFailure(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// attemptTimeout derives the per-attempt timeout from the caller's
+// remaining deadline budget: each attempt gets at most its fair share
+// (remaining / attempts left), capped by the policy's per-attempt timeout
+// and floored at 1 ms so a nearly-spent budget still sends one cheap
+// attempt. A context without a deadline keeps the fixed policy timeout; an
+// exhausted budget errors so the loop stops without a doomed send.
+func (c *Client) attemptTimeout(ctx context.Context, attempt, total int) (time.Duration, error) {
+	timeout := c.policy.Timeout
+	rem, ok := obs.Remaining(ctx)
+	if !ok {
+		return timeout, nil
+	}
+	if rem <= 0 {
+		return 0, context.DeadlineExceeded
+	}
+	if share := rem / time.Duration(total-attempt); share < timeout {
+		timeout = share
+	}
+	if timeout < time.Millisecond {
+		timeout = time.Millisecond
+	}
+	return timeout, nil
+}
+
+// hedgeBackup selects the hedge target for a GET attempt: the next replica
+// in rotation on a different host whose breaker is fully closed (a
+// half-open host's single probe slot must not be spent on a hedge that
+// may never launch). ok=false disables hedging for this attempt.
+func (c *Client) hedgeBackup(rq request, candidates []string, attempt int, primaryHost string) (string, bool) {
+	if !c.hedgeEnabled || rq.method != http.MethodGet || len(candidates) < 2 {
+		return "", false
+	}
+	n := len(candidates)
+	for off := 1; off < n; off++ {
+		target := candidates[(attempt+off)%n]
+		host := hostOf(target)
+		if host == primaryHost {
+			continue
+		}
+		if br := c.breakerFor(host); br != nil && br.current() != BreakerClosed {
+			continue
+		}
+		return target, true
+	}
+	return "", false
+}
+
+// once performs a single attempt against target under the given timeout,
+// advertising the attempt's budget to the server via the deadline header
+// so it can shed work it cannot finish in time.
 // "exchange.client.request" (error/delay before the attempt) and
 // "exchange.client.body" (response corruption, caught downstream by the
 // wire format's hash trailer) are fault-injection hook points.
-func (c *Client) once(ctx context.Context, rq request) ([]byte, string, bool, error) {
+func (c *Client) once(ctx context.Context, rq request, target string, timeout time.Duration) ([]byte, string, bool, error) {
 	if err := c.hit("exchange.client.request"); err != nil {
 		return nil, "", false, err
 	}
-	actx, cancel := context.WithTimeout(ctx, c.policy.Timeout)
+	actx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var rd io.Reader
 	if rq.payload != nil {
 		rd = bytes.NewReader(rq.payload)
 	}
-	req, err := http.NewRequestWithContext(actx, rq.method, rq.url, rd)
+	req, err := http.NewRequestWithContext(actx, rq.method, target, rd)
 	if err != nil {
 		return nil, "", false, err
 	}
 	req.Header.Set("Accept", "application/json")
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(timeout.Milliseconds(), 10))
 	if rq.payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -344,14 +488,29 @@ func (c *Client) once(ctx context.Context, rq request) ([]byte, string, bool, er
 	return c.corrupt("exchange.client.body", body), resp.Header.Get("ETag"), false, nil
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After (the form
-// the exchange server emits). HTTP-date values are ignored.
+// parseRetryAfter reads Retry-After in either of its RFC 9110 forms:
+// delay-seconds (the form the exchange server emits) or an HTTP-date,
+// converted to a non-negative delay from now. Unparseable or past values
+// yield 0 (no advice).
 func parseRetryAfter(v string) time.Duration {
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
+	v = strings.TrimSpace(v)
+	if v == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
+		return 0
+	}
+	if d := obs.Until(t); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // backoff returns the jittered delay before retry number attempt (≥ 1):

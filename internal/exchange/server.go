@@ -25,6 +25,7 @@ package exchange
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -32,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"collabscope/internal/checkpoint"
 	"collabscope/internal/core"
@@ -142,6 +144,18 @@ type Server struct {
 	flight       map[string]*flightCall
 	active       int
 	tenantActive map[string]int
+
+	// Lifecycle state (lifecycle.go). draining refuses new work; inflight
+	// counts admitted assess computations so Drain can wait them out;
+	// computeCtx is the detached context computations run under, cancelled
+	// by Drain when its own context expires.
+	draining      atomic.Bool
+	inflight      sync.WaitGroup
+	computeCtx    context.Context
+	computeCancel context.CancelFunc
+	drainOnce     sync.Once
+	drainDone     chan struct{}
+	drainErr      error
 }
 
 // ServerOption configures NewServer, mirroring the Pipeline option style.
@@ -225,7 +239,9 @@ func NewServer(opts ...ServerOption) (*Server, error) {
 		admission:    cfg.admission.withDefaults(),
 		flight:       make(map[string]*flightCall),
 		tenantActive: make(map[string]int),
+		drainDone:    make(chan struct{}),
 	}
+	s.computeCtx, s.computeCancel = context.WithCancel(context.Background())
 	if cfg.store != nil {
 		s.store = cfg.store
 	} else if cfg.registryDir != "" {
@@ -373,6 +389,16 @@ func (s *Server) persistLocked(tenant, schema string, p *published) error {
 	if err := s.store.Save(modelCellKey(tenant, schema), &cell); err != nil {
 		return fmt.Errorf("exchange: persist model %s/%s: %w", tenant, schema, err)
 	}
+	man := s.manifestLocked()
+	if err := s.store.Save(manifestKey, &man); err != nil {
+		return fmt.Errorf("exchange: persist registry manifest: %w", err)
+	}
+	return nil
+}
+
+// manifestLocked enumerates the live (tenant, schema) pairs in sorted
+// order. Callers hold s.mu (read or write).
+func (s *Server) manifestLocked() manifestCell {
 	var man manifestCell
 	for t, sp := range s.tenants {
 		for name := range sp.models {
@@ -385,10 +411,7 @@ func (s *Server) persistLocked(tenant, schema string, p *published) error {
 		}
 		return man.Entries[i].Schema < man.Entries[j].Schema
 	})
-	if err := s.store.Save(manifestKey, &man); err != nil {
-		return fmt.Errorf("exchange: persist registry manifest: %w", err)
-	}
-	return nil
+	return man
 }
 
 // space returns (creating if needed) a tenant's registry. Callers hold
@@ -554,6 +577,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleAssess(w, r)
+	case v1 && (path == "/healthz" || path == "/readyz"):
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			s.methodNotAllowed(w, v1, "GET, HEAD")
+			return
+		}
+		s.serveHealth(w, path == "/readyz")
 	case path == "/metrics" && reg != nil:
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			s.methodNotAllowed(w, v1, "GET, HEAD")

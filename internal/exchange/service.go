@@ -76,6 +76,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.draining.Load() {
+		s.rejectDraining(w, reg)
+		return
+	}
 	reg.Counter("service.uploads").Inc()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBody+1))
 	if err != nil {
@@ -184,10 +188,20 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.writeAssessError(w, reg, err)
 		return
 	}
+	if budget, ok := deadlineBudget(r); ok && s.shedDeadline(reg, budget) {
+		reg.Counter("service.deadline_shed").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.admission.RetryAfterSeconds))
+		writeV1Error(w, http.StatusServiceUnavailable, CodeDeadline,
+			"advertised deadline budget %v is below the observed assess latency", budget)
+		return
+	}
 
 	// Coalesce or admit — one atomic decision under assessMu. The key pins
 	// tenant, request bytes and registry generation, so a republish between
 	// two identical requests never lets the second ride a stale verdict.
+	// The draining flag is read under the same lock, so Drain's
+	// lock-barrier can guarantee every admitted flight is in the inflight
+	// WaitGroup before it starts waiting.
 	sum := sha256.Sum256(body)
 	key := fmt.Sprintf("%s|%d|%x", tenant, s.Generation(), sum)
 	s.assessMu.Lock()
@@ -204,6 +218,11 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if s.draining.Load() {
+		s.assessMu.Unlock()
+		s.rejectDraining(w, reg)
+		return
+	}
 	if s.admission.QueueDepth > 0 && s.active >= s.admission.QueueDepth {
 		s.assessMu.Unlock()
 		s.shed(w, reg, tenant, "queue")
@@ -216,6 +235,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	}
 	s.active++
 	s.tenantActive[tenant]++
+	s.inflight.Add(1)
 	fc := &flightCall{done: make(chan struct{})}
 	s.flight[key] = fc
 	s.assessMu.Unlock()
@@ -223,8 +243,9 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 
 	// Compute detached from this request's cancellation: coalesced
 	// followers share the result, so the leader hanging up must not void
-	// their work.
-	fc.resp, fc.err = s.computeAssess(context.WithoutCancel(r.Context()), tenant, &req)
+	// their work. The server-level computeCtx stands in for the request
+	// context — it only dies when Drain force-cancels stragglers.
+	fc.resp, fc.err = s.computeAssess(s.computeCtx, tenant, &req)
 	s.assessMu.Lock()
 	delete(s.flight, key)
 	s.active--
@@ -235,6 +256,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	s.assessMu.Unlock()
 	reg.Gauge("service.inflight").Add(-1)
 	close(fc.done)
+	s.inflight.Done()
 	s.writeAssess(w, reg, tenant, sw, fc)
 }
 
@@ -263,6 +285,14 @@ func (s *Server) writeAssessError(w http.ResponseWriter, reg *obs.Registry, err 
 	var se *statusErr
 	if errors.As(err, &se) {
 		writeV1Error(w, se.status, se.code, "%s", se.msg)
+		return
+	}
+	if errors.Is(err, context.Canceled) && s.draining.Load() {
+		// The flight was force-cancelled by Drain: waiters get the typed
+		// draining answer, not an opaque 500.
+		w.Header().Set("Retry-After", strconv.Itoa(s.admission.RetryAfterSeconds))
+		writeV1Error(w, http.StatusServiceUnavailable, CodeDraining,
+			"assessment cancelled by server drain, retry against another replica")
 		return
 	}
 	writeV1Error(w, http.StatusInternalServerError, CodeInternal, "%v", err)

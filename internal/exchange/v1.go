@@ -20,6 +20,10 @@ import (
 //	GET  /v1/models/<schema> → model wire JSON, content-hash ETag, 304s
 //	POST /v1/assess          → AssessRequest → AssessResponse
 //	GET  /v1/metrics         → metrics registry snapshot (when enabled)
+//	GET  /v1/healthz         → liveness: HealthResponse, always 200 while
+//	                           the process serves requests (draining too)
+//	GET  /v1/readyz          → readiness: HealthResponse, 200 only when the
+//	                           server should receive new traffic
 //
 // Tenancy is carried by the X-Collabscope-Tenant header; an absent header
 // means the DefaultTenant namespace, which is also where the legacy routes
@@ -32,6 +36,12 @@ const TenantHeader = "X-Collabscope-Tenant"
 // DefaultTenant is the namespace used when no tenant header is sent — and
 // the namespace the legacy unversioned routes serve.
 const DefaultTenant = "default"
+
+// DeadlineHeader carries the client's per-attempt deadline budget in
+// integer milliseconds. A server that knows it cannot answer within the
+// advertised budget sheds the request up front (503) instead of burning
+// compute on an answer the client will have abandoned.
+const DeadlineHeader = "X-Collabscope-Deadline"
 
 // APIVersion is the service API version prefix ("/v1").
 const APIVersion = "v1"
@@ -133,7 +143,23 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeOverloaded       = "overloaded"
 	CodeInternal         = "internal"
+	// CodeDraining marks work rejected because the server is shutting down
+	// gracefully; clients should retry against another replica.
+	CodeDraining = "draining"
+	// CodeDeadline marks work shed because the client's advertised deadline
+	// budget cannot be met.
+	CodeDeadline = "deadline_unmeetable"
 )
+
+// HealthResponse answers GET /v1/healthz and GET /v1/readyz.
+type HealthResponse struct {
+	// Status is "ok" when the probe passes, else a short reason
+	// ("draining", "overloaded", "starting").
+	Status string `json:"status"`
+	// Checks itemises the readiness gates by name → pass/fail detail.
+	// Liveness responses leave it empty.
+	Checks map[string]string `json:"checks,omitempty"`
+}
 
 // writeV1Error writes the JSON error envelope with the given status.
 func writeV1Error(w http.ResponseWriter, status int, code, format string, args ...any) {

@@ -241,5 +241,29 @@ func RunBench(cfg Config) (*BenchReport, error) {
 			"lsh_fallback_fraction": idx.LSHFallbackFraction,
 		}},
 	)
+
+	// Chaos resilience stage: the replicated-fleet SLO run, recorded with
+	// its availability and failover evidence so regressions in the
+	// resilience layer show up in bench diffs like any other stage.
+	chaos, err := RunChaosSLO(ChaosSLOConfig{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var chaosWall int64
+	for _, p := range chaos.Phases {
+		chaosWall += p.WallNS
+	}
+	passed := 0.0
+	if chaos.Passed() {
+		passed = 1.0
+	}
+	rep.Entries = append(rep.Entries, BenchEntry{
+		Name: "service_resilience", WallNS: chaosWall, Metrics: map[string]float64{
+			"availability":   chaos.Availability,
+			"failovers":      float64(chaos.Failovers),
+			"hedge_wins":     float64(chaos.HedgeWins),
+			"breaker_opened": float64(chaos.BreakerOpened),
+			"slo_passed":     passed,
+		}})
 	return rep, nil
 }

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"collabscope/internal/leakcheck"
+)
+
+// TestChaosSLO drives the replicated fleet through the full kill → restart
+// → stall → corrupt → drain schedule and asserts every SLO, plus zero
+// leaked goroutines once the fleet is down.
+func TestChaosSLO(t *testing.T) {
+	leakcheck.Guard(t)
+	rep, err := RunChaosSLO(ChaosSLOConfig{})
+	if err != nil {
+		t.Fatalf("RunChaosSLO: %v", err)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	t.Logf("\n%s", buf.String())
+
+	if rep.Availability < 1.0 {
+		t.Errorf("availability %.4f, want 1.0 — a replica failure cost answers", rep.Availability)
+	}
+	if rep.InconsistentVerdicts != 0 {
+		t.Errorf("%d verdicts deviated from the healthy baseline, want 0", rep.InconsistentVerdicts)
+	}
+	if rep.CorruptionsDetected < 1 {
+		t.Errorf("injected corruption went undetected (detected=%d)", rep.CorruptionsDetected)
+	}
+	if rep.CorruptionsMissed != 0 {
+		t.Errorf("%d corrupted models served silently, want 0", rep.CorruptionsMissed)
+	}
+	if rep.BreakerOpened < 2 {
+		t.Errorf("victim breaker opened %d times, want ≥ 2 (kill and stall phases)", rep.BreakerOpened)
+	}
+	if rep.BreakerHalfOpens < 1 || rep.BreakerClosed < 1 {
+		t.Errorf("victim breaker half_opens=%d closed=%d, want ≥ 1 each (recovery)", rep.BreakerHalfOpens, rep.BreakerClosed)
+	}
+	if rep.BreakerFinalState != "closed" {
+		t.Errorf("victim breaker ended %s, want closed", rep.BreakerFinalState)
+	}
+	if rep.Failovers < 1 {
+		t.Errorf("no failovers recorded, expected the kill phase to force some")
+	}
+	if rep.HedgeWins < 1 {
+		t.Errorf("no hedge wins recorded, expected the stalled primary to lose the race")
+	}
+	if !rep.EtagsBitIdentical {
+		t.Errorf("restarted victim served different ETags than before the kill")
+	}
+	if !rep.DrainClean {
+		t.Errorf("Drain on a live replica did not return cleanly")
+	}
+	if !rep.DrainRefusesTyped {
+		t.Errorf("draining replica did not refuse new work with the typed %q error", "draining")
+	}
+	if !rep.Passed() {
+		t.Errorf("report.Passed() = false, want true")
+	}
+}

@@ -18,6 +18,8 @@
 //	exchange.client.body     — fetched response bytes (Corrupt)
 //	exchange.server.request  — hub request admission (Hit; error ⇒ 500)
 //	exchange.server.body     — published model bytes (Corrupt)
+//	exchange.service.assess  — assess computation (Hit; delays stall inside
+//	                           the admission window, errors ⇒ 500)
 //	schema.load              — schema JSON ingestion (Hit)
 //	schema.load.bytes        — schema JSON payload (Corrupt)
 //	embed.load               — signature-set ingestion (Hit)

@@ -19,6 +19,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -160,6 +161,36 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Quantile returns an upper-bound estimate of the live q-quantile
+// (q ∈ [0, 1]) in nanoseconds, reading the atomic buckets directly — cheap
+// enough for per-request decisions (hedge delays, deadline shedding)
+// without taking a full registry snapshot. 0 on nil or empty histograms.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	maxNS := h.maxNS.Load()
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if upper := bucketUpper(i); upper < maxNS {
+				return upper
+			}
+			return maxNS
+		}
+	}
+	return maxNS
+}
+
 // Stopwatch is a started timer bound to the wall clock. The zero value is a
 // disabled stopwatch: Elapsed returns 0 and observations are dropped, so
 // callers on the disabled path pay a single bool check and no time.Now.
@@ -192,6 +223,24 @@ func (h *Histogram) ObserveSince(s Stopwatch) time.Duration {
 	d := time.Since(s.start)
 	h.Observe(d)
 	return d
+}
+
+// Until returns the duration from now until t (negative when t is past).
+// It exists so deadline arithmetic — Retry-After HTTP-dates, deadline-budget
+// headers — can stay outside this package without calling time.Now.
+func Until(t time.Time) time.Duration {
+	return time.Until(t)
+}
+
+// Remaining reports the time left until ctx's deadline (ok=false when the
+// context carries no deadline). A negative remainder means the deadline has
+// already passed.
+func Remaining(ctx context.Context) (time.Duration, bool) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
+	}
+	return time.Until(d), true
 }
 
 // Registry is a process-local set of named instruments. Instruments are

@@ -27,7 +27,21 @@ type (
 	// PeerError names one peer that could not contribute to an exchange
 	// round and why.
 	PeerError = exchange.PeerError
+	// BreakerPolicy tunes the per-peer circuit breaker enabled by
+	// WithCircuitBreaker: consecutive-failure and error-rate triggers plus
+	// the cooldown before the half-open probe. The zero value means the
+	// defaults (5 consecutive failures, 16-request window, 2 s cooldown).
+	BreakerPolicy = exchange.BreakerPolicy
+	// HedgePolicy tunes hedged GETs enabled by WithHedgedGets: the latency
+	// quantile of the primary replica after which a backup request races
+	// it, and the delay floor. The zero fields mean the defaults (p95,
+	// 50 ms).
+	HedgePolicy = exchange.HedgePolicy
 )
+
+// ErrCircuitOpen is matched by errors.Is when a remote call was
+// short-circuited because every candidate peer's breaker is open.
+var ErrCircuitOpen = exchange.ErrCircuitOpen
 
 // DefaultRetryPolicy returns the exchange client defaults.
 func DefaultRetryPolicy() RetryPolicy { return exchange.DefaultRetryPolicy() }
@@ -42,6 +56,29 @@ func WithHTTPClient(hc *http.Client) Option {
 // WithRetryPolicy sets the retry policy of the remote-exchange methods.
 func WithRetryPolicy(rp RetryPolicy) Option {
 	return func(p *Pipeline) { p.retry = rp; p.hasRetry = true }
+}
+
+// WithCircuitBreaker arms the per-peer circuit breaker on the pipeline's
+// exchange client: a peer that keeps failing is short-circuited with
+// ErrCircuitOpen until its cooldown elapses, then probed half-open. Off by
+// default.
+func WithCircuitBreaker(bp BreakerPolicy) Option {
+	return func(p *Pipeline) { p.exchOpts = append(p.exchOpts, exchange.WithBreaker(bp)) }
+}
+
+// WithPeerReplicas declares replicas for a logical peer base URL: remote
+// calls addressed under logical fail over across the replicas in order,
+// skipping hosts whose breaker is open. Repeat the option to declare
+// further groups.
+func WithPeerReplicas(logical string, replicas ...string) Option {
+	return func(p *Pipeline) { p.exchOpts = append(p.exchOpts, exchange.WithReplicas(logical, replicas...)) }
+}
+
+// WithHedgedGets enables hedged GETs across peer replica groups: when the
+// primary replica has not answered within its observed latency quantile, a
+// backup request races it on the next replica and the first success wins.
+func WithHedgedGets(hp HedgePolicy) Option {
+	return func(p *Pipeline) { p.exchOpts = append(p.exchOpts, exchange.WithHedge(hp)) }
 }
 
 // exchangeClient builds the pipeline's exchange client from its options —
@@ -61,6 +98,7 @@ func (p *Pipeline) exchangeClient() *exchange.Client {
 		if p.reg != nil {
 			opts = append(opts, exchange.WithMetrics(p.reg))
 		}
+		opts = append(opts, p.exchOpts...)
 		p.exch = exchange.NewClient(opts...)
 	})
 	return p.exch
