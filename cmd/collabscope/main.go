@@ -61,6 +61,8 @@ func main() {
 		runEval(args)
 	case "train":
 		runTrain(args)
+	case "update":
+		runUpdate(args)
 	case "assess":
 		runAssess(args)
 	case "integrate":
@@ -249,7 +251,7 @@ func runSuggest(args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: collabscope <stats|scope|match|eval|train|assess|integrate|suggest|serve|fetch|push> [flags] schema files...")
+	fmt.Fprintln(os.Stderr, "usage: collabscope <stats|scope|match|eval|train|update|assess|integrate|suggest|serve|fetch|push> [flags] schema files...")
 	os.Exit(2)
 }
 
@@ -311,6 +313,56 @@ func runTrain(args []string) {
 		schemas[0].Name, model.Components(), *v, model.Range, path)
 }
 
+// runUpdate implements incremental maintenance for evolving schemas: the
+// training state (rows + sufficient statistics) persists in -state, each
+// run applies the schema file as a diff against it, and only the delta is
+// re-accumulated before the model is retrained and written — so a DDL
+// change costs one state diff instead of a cold retrain pipeline. With
+// -push the refreshed model is republished, bumping its registry version
+// so peers and the scoping service delta-assess against it.
+func runUpdate(args []string) {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	v := fs.Float64("v", 0.8, "global explained variance")
+	state := fs.String("state", "", "state directory holding the incremental training state (required)")
+	out := fs.String("out", "", "model output file (default <schema>.model.json)")
+	push := fs.String("push", "", "scoping service base URL: also republish the refreshed model")
+	tenant := fs.String("tenant", "", "tenant namespace for -push (default: the hub's default tenant)")
+	dim, workers := pipelineFlags(fs)
+	fs.Parse(args)
+	if *state == "" {
+		fatalf("-state is required (it holds the incremental training state between runs)")
+	}
+
+	schemas := loadSchemas(fs.Args())
+	if len(schemas) != 1 {
+		fatalf("update expects exactly one schema file")
+	}
+	pipe := newPipeline(*dim, *workers)
+	up, err := pipe.UpdateModel(schemas[0], *v, *state)
+	fatal(err)
+
+	path := *out
+	if path == "" {
+		path = schemas[0].Name + ".model.json"
+	}
+	fh, err := os.Create(path)
+	fatal(err)
+	fatal(up.Model.WriteJSON(fh))
+	fatal(fh.Close())
+	if up.Resumed {
+		fmt.Printf("updated %s: +%d -%d ~%d elements, state version %d -> %s\n",
+			schemas[0].Name, up.Added, up.Removed, up.Changed, up.Version, path)
+	} else {
+		fmt.Printf("initialised %s: %d elements, state version %d -> %s\n",
+			schemas[0].Name, up.Added, up.Version, path)
+	}
+	if *push != "" {
+		fatal(pipe.UploadModel(context.Background(), *push, *tenant, up.Model))
+		fmt.Printf("republished %s (%d components, range %.4g) -> %s\n",
+			up.Model.Schema, up.Model.Components(), up.Model.Range, *push)
+	}
+}
+
 // runAssess implements the consumer side: assess the local schema against
 // exchanged foreign models (Algorithm 2) and report/stream the verdicts.
 func runAssess(args []string) {
@@ -320,10 +372,18 @@ func runAssess(args []string) {
 	server := fs.String("server", "", "scoping service base URL: assess via its POST /v1/assess hot path")
 	tenant := fs.String("tenant", "", "tenant namespace for -server (default: the hub's default tenant)")
 	out := fs.String("out", "", "write the streamlined schema as JSON to this file")
+	delta := fs.Bool("delta", false, "delta assessment: persist per-model score columns in -state and re-score only models that changed since the last run")
+	state := fs.String("state", "", "state directory for -delta score columns")
 	dim, workers := pipelineFlags(fs)
 	fs.Parse(args)
 	if *modelsArg == "" && *peersArg == "" && *server == "" {
 		fatalf("-models, -peers or -server is required")
+	}
+	if *delta && *state == "" {
+		fatalf("-delta needs -state to persist score columns between runs")
+	}
+	if *delta && *server != "" {
+		fatalf("-delta is a local-assessment flag; the hub runs its own delta cache on /v1/assess")
 	}
 
 	schemas := loadSchemas(fs.Args())
@@ -380,7 +440,14 @@ func runAssess(args []string) {
 		if len(foreign) == 0 {
 			fatalf("no foreign models available (all peers failed?)")
 		}
-		assessment = &collabscope.Assessment{Verdicts: pipe.Assess(local, foreign), Used: used}
+		if *delta {
+			verdicts, rep, err := pipe.AssessDeltaState(local, foreign, *state)
+			fatal(err)
+			fmt.Printf("delta assessment: %d passes re-scored, %d reused\n", rep.Rescored, rep.Reused)
+			assessment = &collabscope.Assessment{Verdicts: verdicts, Used: used}
+		} else {
+			assessment = &collabscope.Assessment{Verdicts: pipe.Assess(local, foreign), Used: used}
+		}
 	}
 
 	streamlined := local.Subset(assessment.Verdicts)

@@ -286,6 +286,17 @@ type Scoper struct {
 	full    []*linalg.PCA
 	cfg     AssessConfig
 	workers int
+
+	// version holds each schema's model version: 1 at construction, bumped
+	// by every successful incremental mutation (DESIGN.md §15). Delta
+	// assessment keys cached scores on these.
+	version []int64
+	// stats holds each schema's sufficient statistics, accumulated lazily on
+	// the first incremental mutation; nil under ApproxMaxRank, whose
+	// randomized fit has no stats path.
+	stats []*linalg.PCAStats
+	// delta is the AssessDelta score cache; nil until the first delta round.
+	delta *deltaCache
 }
 
 // NewScoper prepares collaborative scoping over the schemas' signature
@@ -310,7 +321,10 @@ func NewScoperContext(ctx context.Context, workers int, sets []*embed.SignatureS
 	ctx, sp := obs.Start(ctx, "core.fit")
 	sp.Annotate("schemas", int64(len(sets)))
 	defer sp.End()
-	s := &Scoper{sets: sets, cfg: cfg, workers: workers}
+	s := &Scoper{sets: sets, cfg: cfg, workers: workers, version: make([]int64, len(sets)), stats: make([]*linalg.PCAStats, len(sets))}
+	for i := range s.version {
+		s.version[i] = 1
+	}
 	dim := -1
 	for i, set := range sets {
 		if set.Len() == 0 {
@@ -355,10 +369,12 @@ func (s *Scoper) fit(set *embed.SignatureSet) (*linalg.PCA, error) {
 	return pca, nil
 }
 
-// UpdateSchema replaces schema i's signature set after a schema evolution
-// (added or removed elements) and refits only that schema's model — the
-// incremental maintenance a production deployment needs: the other schemas'
-// expensive SVDs are untouched.
+// UpdateSchema replaces schema i's signature set wholesale after a schema
+// evolution and refits only that schema's model — the other schemas'
+// expensive SVDs are untouched. The replacement bumps schema i's model
+// version and forgets its sufficient statistics and cached delta scores;
+// for diff-shaped evolutions prefer AddElements / RemoveElements, which
+// keep the delta cache warm for the unchanged elements.
 func (s *Scoper) UpdateSchema(i int, set *embed.SignatureSet) error {
 	if i < 0 || i >= len(s.sets) {
 		return fmt.Errorf("core: schema index %d out of range %d", i, len(s.sets))
@@ -376,6 +392,9 @@ func (s *Scoper) UpdateSchema(i int, set *embed.SignatureSet) error {
 	}
 	s.sets[i] = set
 	s.full[i] = pca
+	s.version[i]++
+	s.stats[i] = nil
+	s.deltaInvalidateSchema(i)
 	return nil
 }
 

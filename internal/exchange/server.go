@@ -156,6 +156,11 @@ type Server struct {
 	drainOnce     sync.Once
 	drainDone     chan struct{}
 	drainErr      error
+
+	// delta caches per-model assess error columns across registry
+	// generations, so a single-model republish re-scores only that model's
+	// column on the next identical-signature assessment (delta.go).
+	delta *deltaStore
 }
 
 // ServerOption configures NewServer, mirroring the Pipeline option style.
@@ -240,6 +245,7 @@ func NewServer(opts ...ServerOption) (*Server, error) {
 		flight:       make(map[string]*flightCall),
 		tenantActive: make(map[string]int),
 		drainDone:    make(chan struct{}),
+		delta:        newDeltaStore(),
 	}
 	s.computeCtx, s.computeCancel = context.WithCancel(context.Background())
 	if cfg.store != nil {

@@ -339,16 +339,50 @@ func (s *Server) computeAssess(ctx context.Context, tenant string, req *AssessRe
 				p.model.Schema, p.model.Dim(), dim)
 		}
 	}
-	x := linalg.NewDense(n, dim)
-	for i, row := range req.Signatures {
-		copy(x.RowView(i), row)
+	// Delta assessment: reuse cached per-model error columns whose model
+	// ETag still matches, re-score only the columns of models that were
+	// republished (version-bumped) or never scored for these signatures.
+	// Reused columns are the exact values a cold pass would recompute, so
+	// verdicts are identical either way; the counters prove the saved work.
+	reg := s.registry()
+	sigKey := assessSigKey(tenant, req)
+	cached := s.delta.lookup(sigKey)
+	errsByModel := make([][]float64, len(foreign))
+	misses := make([]int, 0, len(foreign))
+	reused := 0
+	for k, p := range foreign {
+		if c, ok := cached[p.model.Schema]; ok && c.etag == p.etag && len(c.errs) == n {
+			errsByModel[k] = c.errs
+			reused++
+			continue
+		}
+		misses = append(misses, k)
 	}
-	errsByModel, err := parallel.Map(ctx, s.workers, foreign, func(_ int, p *published) ([]float64, error) {
-		return p.model.ErrorsInto(x, make([]float64, n), nil), nil
+	var x *linalg.Dense
+	if len(misses) > 0 {
+		x = linalg.NewDense(n, dim)
+		for i, row := range req.Signatures {
+			copy(x.RowView(i), row)
+		}
+	}
+	fresh, err := parallel.Map(ctx, s.workers, misses, func(_ int, k int) ([]float64, error) {
+		return foreign[k].model.ErrorsInto(x, make([]float64, n), nil), nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	if len(misses) > 0 {
+		newCols := make(map[string]deltaColumn, len(misses))
+		for t, k := range misses {
+			errsByModel[k] = fresh[t]
+			newCols[foreign[k].model.Schema] = deltaColumn{etag: foreign[k].etag, errs: fresh[t]}
+		}
+		s.delta.put(sigKey, newCols)
+	}
+	reg.Counter("service.delta.reused").Add(int64(reused * n))
+	reg.Counter("service.delta.rescored").Add(int64(len(misses) * n))
+	reg.Counter("service.tenant." + tenant + ".delta.reused").Add(int64(reused * n))
+	reg.Counter("service.tenant." + tenant + ".delta.rescored").Add(int64(len(misses) * n))
 	mode := req.mode()
 	verdicts := make([]Verdict, n)
 	for i := range verdicts {

@@ -222,6 +222,32 @@ func RunBench(cfg Config) (*BenchReport, error) {
 		}
 	}
 
+	// Evolving-schema churn stage: incremental maintenance vs cold
+	// retrain+reassess over the same churn schedule at OC3-FO scale, with
+	// verdict equality enforced inside the run. Recorded as two entries so
+	// benchdiff gates the mutation/refit path and the delta-assessment path
+	// independently.
+	churn, err := RunChurnBench(ChurnBenchConfig{Seed: cfg.Seed}, ocfo)
+	if err != nil {
+		return nil, err
+	}
+	match01 := 0.0
+	if churn.VerdictsMatch {
+		match01 = 1.0
+	}
+	rep.Entries = append(rep.Entries,
+		BenchEntry{Name: "incremental_update", WallNS: churn.UpdateNS, Metrics: map[string]float64{
+			"rounds":           float64(churn.Rounds),
+			"speedup_vs_full":  churn.Speedup,
+			"full_retrain_ns":  float64(churn.FullNS),
+			"verdicts_matched": match01,
+		}},
+		BenchEntry{Name: "delta_assess", WallNS: churn.DeltaAssessNS, Metrics: map[string]float64{
+			"rescored_passes": float64(churn.Rescored),
+			"reused_passes":   float64(churn.Reused),
+		}},
+	)
+
 	// ANN index stages: fixed sizing (not cfg-scaled) so the entries stay
 	// comparable between -fast and full runs of the same machine.
 	idx, err := RunIndexBench(IndexBenchConfig{Seed: cfg.Seed})
