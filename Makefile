@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzz-smoke incremental-exactness chaos chaos-slo ci bench bench-parallel bench-json bench-diff lintobs cover serve-smoke
+.PHONY: all build test race vet fmt fuzz-smoke incremental-exactness chaos chaos-slo ci bench bench-parallel bench-json bench-diff lintobs cover serve-smoke encoder-smoke
 
 all: build
 
@@ -22,11 +22,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # fuzz-smoke runs short fuzzing passes over the surfaces exposed to
-# untrusted peers: the model wire reader and the /v1 assess request
-# decoder (both reachable via internal/exchange).
+# untrusted peers: the model wire reader, the /v1 assess request
+# decoder (both reachable via internal/exchange), and the remote
+# encoder's response envelope.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzReadModelJSON -fuzztime=5s ./internal/core
 	$(GO) test -run xxx -fuzz FuzzAssessRequestJSON -fuzztime=5s ./internal/exchange
+	$(GO) test -run xxx -fuzz FuzzEncoderResponseJSON -fuzztime=5s ./internal/encoder
 
 # incremental-exactness pins the incremental-maintenance contract
 # (DESIGN.md §15): merged/updated/downdated sufficient statistics must
@@ -60,8 +62,9 @@ chaos-slo:
 	$(GO) test -count=1 -run TestChaosSLO -v ./internal/experiments
 
 # ci is the tier-1 verification gate: formatting, vet, the full test suite
-# under the race detector, and the wire-reader fuzz smoke.
-ci: fmt vet race fuzz-smoke
+# under the race detector, the wire-reader fuzz smoke, and the
+# encoder-backend conformance smoke.
+ci: fmt vet race fuzz-smoke encoder-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -92,6 +95,13 @@ bench-diff: bench-json
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
 
+# encoder-smoke is the encoder-backend conformance gate: the remote stub
+# and the local hash encoder must produce byte-identical signatures and
+# scoping verdicts on OC3-FO, cold and warm, with warm reruns served
+# entirely from the signature cache (zero requests).
+encoder-smoke:
+	$(GO) run ./cmd/encodersmoke
+
 # lintobs enforces the repo's timing discipline: time.Now belongs to
 # internal/obs (Stopwatch) so hot paths stay instrumentable and the
 # disabled path stays zero-cost.
@@ -100,7 +110,7 @@ lintobs:
 
 # cover enforces the ratcheted coverage floor: the floor only moves up as
 # total coverage grows (raise it here and in .github/workflows/ci.yml).
-COVER_MIN ?= 76.0
+COVER_MIN ?= 77.0
 cover:
 	$(GO) test -coverprofile=/tmp/cover.out ./...
 	$(GO) tool cover -func=/tmp/cover.out | tail -1

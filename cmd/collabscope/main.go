@@ -92,14 +92,14 @@ func runServe(args []string) {
 	queue := fs.Int("queue", 0, "max concurrent assess computations before 429 load shedding (default 64)")
 	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight assess cap (default: -queue)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM before it is cancelled")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	fs.Parse(args)
 	if len(fs.Args()) == 0 && *registry == "" {
 		fatalf("no schema files given (serving an empty registry needs -registry so uploads persist)")
 	}
 
 	reg := collabscope.NewMetrics()
-	pipe := newPipeline(*dim, *workers, collabscope.WithMetrics(reg))
+	pipe := pf.build(collabscope.WithMetrics(reg))
 	var models []*collabscope.Model
 	for _, s := range loadSchemasOptional(fs.Args()) {
 		m, err := pipe.TrainModel(s, *v)
@@ -115,8 +115,8 @@ func runServe(args []string) {
 			QueueDepth: *queue, TenantQuota: *tenantQuota,
 		}),
 	}
-	if *workers > 0 {
-		opts = append(opts, collabscope.WithServerWorkers(*workers))
+	if *pf.workers > 0 {
+		opts = append(opts, collabscope.WithServerWorkers(*pf.workers))
 	}
 	if *registry != "" {
 		opts = append(opts, collabscope.WithServerRegistry(*registry))
@@ -237,11 +237,11 @@ func splitPeers(arg string) []string {
 // runSuggest proposes an explained-variance setting label-free.
 func runSuggest(args []string) {
 	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 	v, err := pipe.SuggestVariance(schemas, nil)
 	fatal(err)
 	res, err := pipe.CollaborativeScope(schemas, v)
@@ -262,11 +262,11 @@ func runIntegrate(args []string) {
 	matcher := fs.String("matcher", "sim:0.6",
 		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("scope", 0.5, "collaborative scoping variance (0 = integrate originals)")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 	target := schemas
 	if *scopeV > 0 {
 		res, err := pipe.CollaborativeScope(schemas, *scopeV)
@@ -290,14 +290,14 @@ func runTrain(args []string) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	v := fs.Float64("v", 0.8, "global explained variance")
 	out := fs.String("out", "", "model output file (default <schema>.model.json)")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
 	if len(schemas) != 1 {
 		fatalf("train expects exactly one schema file")
 	}
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 	model, err := pipe.TrainModel(schemas[0], *v)
 	fatal(err)
 
@@ -327,7 +327,7 @@ func runUpdate(args []string) {
 	out := fs.String("out", "", "model output file (default <schema>.model.json)")
 	push := fs.String("push", "", "scoping service base URL: also republish the refreshed model")
 	tenant := fs.String("tenant", "", "tenant namespace for -push (default: the hub's default tenant)")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	fs.Parse(args)
 	if *state == "" {
 		fatalf("-state is required (it holds the incremental training state between runs)")
@@ -337,7 +337,7 @@ func runUpdate(args []string) {
 	if len(schemas) != 1 {
 		fatalf("update expects exactly one schema file")
 	}
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 	up, err := pipe.UpdateModel(schemas[0], *v, *state)
 	fatal(err)
 
@@ -374,7 +374,7 @@ func runAssess(args []string) {
 	out := fs.String("out", "", "write the streamlined schema as JSON to this file")
 	delta := fs.Bool("delta", false, "delta assessment: persist per-model score columns in -state and re-score only models that changed since the last run")
 	state := fs.String("state", "", "state directory for -delta score columns")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	fs.Parse(args)
 	if *modelsArg == "" && *peersArg == "" && *server == "" {
 		fatalf("-models, -peers or -server is required")
@@ -391,7 +391,7 @@ func runAssess(args []string) {
 		fatalf("assess expects exactly one schema file")
 	}
 	local := schemas[0]
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 
 	// Service-side assessment: signatures travel to the hub, which runs
 	// Algorithm 2 against its registry. Otherwise models are gathered
@@ -543,11 +543,11 @@ func runScope(args []string) {
 		"global scoping detector: "+strings.Join(collabscope.Detectors(), ", ")+" (name or name:param)")
 	p := fs.Float64("p", 0.7, "global scoping keep fraction")
 	out := fs.String("out", "", "write streamlined schemas as JSON into this directory")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 
 	var res *collabscope.ScopeResult
 	var err error
@@ -588,12 +588,12 @@ func runMatch(args []string) {
 	matcher := fs.String("matcher", "lsh:5",
 		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("scope", 0, "collaboratively scope at this variance before matching (0 = off)")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	indexed := indexFlags(fs)
 	fs.Parse(args)
 
 	schemas := loadSchemas(fs.Args())
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 	target := schemas
 	if *scopeV > 0 {
 		res, err := pipe.CollaborativeScope(schemas, *scopeV)
@@ -614,7 +614,7 @@ func runEval(args []string) {
 	matcher := fs.String("matcher", "lsh:5",
 		"matcher: "+strings.Join(collabscope.Matchers(), ", ")+" (name or name:param)")
 	scopeV := fs.Float64("v", 0.8, "collaborative scoping variance (0 = match originals)")
-	dim, workers := pipelineFlags(fs)
+	pf := pipelineFlags(fs)
 	indexed := indexFlags(fs)
 	fs.Parse(args)
 	if *truthPath == "" {
@@ -627,7 +627,7 @@ func runEval(args []string) {
 	truth, err := readTruth(string(data))
 	fatal(err)
 
-	pipe := newPipeline(*dim, *workers)
+	pipe := pf.build()
 	m := indexed(*matcher)
 
 	sota := collabscope.EvaluateMatch(pipe.Match(m, schemas), truth, schemas)
@@ -642,20 +642,44 @@ func runEval(args []string) {
 	}
 }
 
-// pipelineFlags registers the flags every subcommand's pipeline shares.
-func pipelineFlags(fs *flag.FlagSet) (dim, workers *int) {
-	dim = fs.Int("dim", 0, "signature dimensionality (default 768)")
-	workers = fs.Int("workers", 0, "worker-pool parallelism (default GOMAXPROCS)")
-	return dim, workers
+// pipelineSpec holds the parsed pipeline flags every subcommand shares;
+// build resolves them into a pipeline after flag parsing.
+type pipelineSpec struct {
+	dim, workers                  *int
+	encSpec, encCache, enrichSpec *string
 }
 
-func newPipeline(dim, workers int, extra ...collabscope.Option) *collabscope.Pipeline {
-	var opts []collabscope.Option
-	if dim > 0 {
-		opts = append(opts, collabscope.WithDimension(dim))
+// pipelineFlags registers the flags every subcommand's pipeline shares —
+// dimensionality, parallelism, the encoder backend, its signature cache,
+// and the enrichment stage.
+func pipelineFlags(fs *flag.FlagSet) *pipelineSpec {
+	return &pipelineSpec{
+		dim:        fs.Int("dim", 0, "signature dimensionality (default 768)"),
+		workers:    fs.Int("workers", 0, "worker-pool parallelism (default GOMAXPROCS)"),
+		encSpec:    fs.String("encoder", "", "encoder backend: hash (default), or remote:<url>"),
+		encCache:   fs.String("encoder-cache", "", "directory persisting the remote encoder's signature cache across runs"),
+		enrichSpec: fs.String("enrich", "", "comma-separated enrichers applied before encoding: lexicon, fk (default none)"),
 	}
-	if workers > 0 {
-		opts = append(opts, collabscope.WithParallelism(workers))
+}
+
+func (ps *pipelineSpec) build(extra ...collabscope.Option) *collabscope.Pipeline {
+	var opts []collabscope.Option
+	if *ps.dim > 0 {
+		opts = append(opts, collabscope.WithDimension(*ps.dim))
+	}
+	if *ps.workers > 0 {
+		opts = append(opts, collabscope.WithParallelism(*ps.workers))
+	}
+	if *ps.encSpec != "" {
+		opts = append(opts, collabscope.WithEncoderBackend(*ps.encSpec))
+	}
+	if *ps.encCache != "" {
+		opts = append(opts, collabscope.WithEncoderCache(*ps.encCache))
+	}
+	enrichers, err := collabscope.ParseEnrichers(*ps.enrichSpec)
+	fatal(err)
+	if len(enrichers) > 0 {
+		opts = append(opts, collabscope.WithEnrichers(enrichers...))
 	}
 	return collabscope.New(append(opts, extra...)...)
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"collabscope"
 )
 
 func TestParseDetectorSpecs(t *testing.T) {
@@ -68,15 +71,58 @@ func TestLoadSchemas(t *testing.T) {
 	}
 }
 
+// parsedPipelineFlags registers the shared pipeline flags on a throwaway
+// FlagSet and parses the given command line.
+func parsedPipelineFlags(t *testing.T, args ...string) *pipelineSpec {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	pf := pipelineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
 func TestNewPipelineDims(t *testing.T) {
-	if newPipeline(0, 0).Encoder().Dim() != 768 {
+	if parsedPipelineFlags(t).build().Encoder().Dim() != 768 {
 		t.Fatal("default dim should be 768")
 	}
-	if newPipeline(128, 0).Encoder().Dim() != 128 {
+	if parsedPipelineFlags(t, "-dim", "128").build().Encoder().Dim() != 128 {
 		t.Fatal("dim override failed")
 	}
-	if newPipeline(0, 3).Parallelism() != 3 {
+	if parsedPipelineFlags(t, "-workers", "3").build().Parallelism() != 3 {
 		t.Fatal("workers override failed")
+	}
+}
+
+func TestPipelineFlagsEncoderAndEnrich(t *testing.T) {
+	// The hash spec resolves with the flagged dimension.
+	pf := parsedPipelineFlags(t, "-encoder", "hash", "-dim", "64")
+	if pf.build().Encoder().Dim() != 64 {
+		t.Fatal("-encoder hash should inherit -dim")
+	}
+	// Enrichment changes signatures; no enrichment matches the default.
+	s, err := collabscope.ParseDDL("crm", "CREATE TABLE CUSTOMERS (CUST_ID INT PRIMARY KEY);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := parsedPipelineFlags(t, "-dim", "64").build().Encode(s)
+	enriched := parsedPipelineFlags(t, "-dim", "64", "-enrich", "lexicon,fk").build().Encode(s)
+	if plain.Len() != enriched.Len() {
+		t.Fatalf("element counts diverged: %d vs %d", plain.Len(), enriched.Len())
+	}
+	same := true
+	for i := 0; i < plain.Len() && same; i++ {
+		a, b := plain.Matrix.RowView(i), enriched.Matrix.RowView(i)
+		for j := range a {
+			if a[j] != b[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("-enrich lexicon,fk left every signature unchanged")
 	}
 }
 

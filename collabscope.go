@@ -13,6 +13,8 @@ import (
 	"collabscope/internal/core"
 	"collabscope/internal/datasets"
 	"collabscope/internal/embed"
+	"collabscope/internal/encoder"
+	"collabscope/internal/enrich"
 	"collabscope/internal/exchange"
 	"collabscope/internal/integrate"
 	"collabscope/internal/linalg"
@@ -112,6 +114,8 @@ func ExplainError(err error) string {
 		return fmt.Sprintf("an element handler panicked on item %d — a bug in stage code, not bad input; the error carries the stack", pe.Index)
 	case errors.Is(err, ErrNonFinite):
 		return "a signature contains NaN/Inf — the error names the schema element and dimension; check the encoder input"
+	case errors.Is(err, ErrDimMismatch):
+		return "the encoder returned signatures of the wrong shape — the error names the element; check the backend's dimension against WithDimension"
 	case errors.Is(err, ErrSVDNoConvergence):
 		return "the SVD exhausted its sweep budget — the input matrix is numerically ill-conditioned"
 	case errors.Is(err, ErrDegenerateModel):
@@ -160,6 +164,20 @@ type Pipeline struct {
 	enc     embed.Encoder
 	workers int
 
+	// Encoder backend selection (see encoders.go). A spec set with
+	// WithEncoderBackend is resolved once in New, after all options, so it
+	// composes with WithDimension/WithMetrics/WithRetryPolicy regardless of
+	// order; a resolution failure is deferred into encErr and surfaces on
+	// the first encode.
+	encSpec    string
+	hasEncSpec bool
+	encDim     int
+	encCache   string
+	encErr     error
+
+	// Enrichment stage between schema load and encoding (see encoders.go).
+	enrichers []enrich.Enricher
+
 	// Observability (see WithMetrics / WithTraceLog). Both nil by default:
 	// instrumentation is zero-cost when disabled.
 	reg   *obs.Registry
@@ -183,9 +201,13 @@ func WithEncoder(e Encoder) Option {
 }
 
 // WithDimension sets the signature dimensionality of the default encoder
-// (768, the Sentence-BERT size of the paper, if unset).
+// (768, the Sentence-BERT size of the paper, if unset). A backend chosen
+// with WithEncoderBackend inherits the dimension in any option order.
 func WithDimension(dim int) Option {
-	return func(p *Pipeline) { p.enc = embed.NewHashEncoder(embed.WithDim(dim)) }
+	return func(p *Pipeline) {
+		p.encDim = dim
+		p.enc = embed.NewHashEncoder(embed.WithDim(dim))
+	}
 }
 
 // WithParallelism sets the worker count used by every pipeline stage
@@ -262,6 +284,23 @@ func New(opts ...Option) *Pipeline {
 	for _, o := range opts {
 		o(p)
 	}
+	if p.hasEncSpec {
+		cfg := encoder.Config{
+			Dim:        p.encDim,
+			CachePath:  p.encCache,
+			HTTPClient: p.httpClient,
+			Metrics:    p.reg,
+		}
+		if p.hasRetry {
+			cfg.Retry = p.retry
+		}
+		enc, err := encoder.New(p.encSpec, cfg)
+		if err != nil {
+			p.encErr = err
+		} else {
+			p.enc = enc
+		}
+	}
 	return p
 }
 
@@ -277,9 +316,18 @@ func (p *Pipeline) Encode(s *Schema) *SignatureSet {
 	return set
 }
 
-// EncodeContext is Encode with cancellation.
+// EncodeContext is Encode with cancellation. With enrichers attached
+// (WithEnrichers), each schema's elements pass through the enrichment
+// stage before encoding.
 func (p *Pipeline) EncodeContext(ctx context.Context, s *Schema) (*SignatureSet, error) {
-	return embed.EncodeSchemaContext(p.obsContext(ctx), p.workers, p.enc, s)
+	if p.encErr != nil {
+		return nil, p.encErr
+	}
+	ctx = p.obsContext(ctx)
+	if len(p.enrichers) == 0 {
+		return embed.EncodeSchemaContext(ctx, p.workers, p.enc, s)
+	}
+	return embed.EncodeElementsContext(ctx, p.workers, p.enc, enrich.Schema(ctx, p.enrichers, s))
 }
 
 // EncodeAll encodes each schema independently with the shared encoder.
@@ -288,9 +336,23 @@ func (p *Pipeline) EncodeAll(schemas []*Schema) []*SignatureSet {
 	return sets
 }
 
-// EncodeAllContext is EncodeAll with cancellation.
+// EncodeAllContext is EncodeAll with cancellation. Schemas encode
+// sequentially while their elements fan out (or batch to a remote
+// backend), keeping the worker pool saturated without nesting pools.
 func (p *Pipeline) EncodeAllContext(ctx context.Context, schemas []*Schema) ([]*SignatureSet, error) {
-	return embed.EncodeSchemasContext(p.obsContext(ctx), p.workers, p.enc, schemas)
+	if p.encErr != nil {
+		return nil, p.encErr
+	}
+	ctx = p.obsContext(ctx)
+	out := make([]*SignatureSet, len(schemas))
+	for i, s := range schemas {
+		set, err := p.EncodeContext(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = set
+	}
+	return out, nil
 }
 
 // ScopeResult is the outcome of a scoping run.

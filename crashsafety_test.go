@@ -38,7 +38,7 @@ func (e faultyEncoder) Encode(text string) []float64 {
 func TestPipelineIsolatesEncoderPanic(t *testing.T) {
 	schemas := figure1Schemas()
 	marker := schemas[0].Tables[0].Name
-	pipe := New(WithEncoder(faultyEncoder{dim: 16, marker: marker, mode: "panic"}))
+	pipe := New(WithEncoder(BatchEncoder(faultyEncoder{dim: 16, marker: marker, mode: "panic"})))
 	_, err := pipe.CollaborativeScope(schemas, 0.7)
 	var pe *PanicError
 	if !errors.As(err, &pe) {
@@ -59,7 +59,7 @@ func TestPipelineIsolatesEncoderPanic(t *testing.T) {
 func TestPipelineSurfacesNonFiniteSignature(t *testing.T) {
 	schemas := figure1Schemas()
 	marker := schemas[1].Tables[0].Name
-	pipe := New(WithEncoder(faultyEncoder{dim: 16, marker: marker, mode: "nan"}))
+	pipe := New(WithEncoder(BatchEncoder(faultyEncoder{dim: 16, marker: marker, mode: "nan"})))
 	_, err := pipe.CollaborativeScope(schemas, 0.7)
 	if !errors.Is(err, ErrNonFinite) {
 		t.Fatalf("err = %v, want ErrNonFinite", err)

@@ -1,0 +1,117 @@
+package embed
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"collabscope/internal/parallel"
+	"collabscope/internal/schema"
+)
+
+// TestBatchAdapterMatchesEncode pins the adapter contract: EncodeBatch is
+// exactly one Encode per text, in order, bit-identical at any worker count.
+func TestBatchAdapterMatchesEncode(t *testing.T) {
+	enc := NewHashEncoder(WithDim(64))
+	texts := []string{"CUSTOMERS CUST_ID", "ORDERS ORDER_DATE", "RACES CIRCUIT", "", "CUSTOMERS CUST_ID"}
+	for _, workers := range []int{1, 2, 7} {
+		rows, err := Batch(enc).EncodeBatch(WithWorkers(context.Background(), workers), texts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rows) != len(texts) {
+			t.Fatalf("workers=%d: got %d rows for %d texts", workers, len(rows), len(texts))
+		}
+		for i, text := range texts {
+			want := enc.Encode(text)
+			if len(rows[i]) != len(want) {
+				t.Fatalf("workers=%d row %d: dim %d, want %d", workers, i, len(rows[i]), len(want))
+			}
+			for j := range want {
+				if rows[i][j] != want[j] {
+					t.Fatalf("workers=%d row %d dim %d: %v != %v", workers, i, j, rows[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchAdapterEmptyBatch(t *testing.T) {
+	rows, err := Batch(NewHashEncoder(WithDim(16))).EncodeBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty batch returned %d rows", len(rows))
+	}
+}
+
+// panicEncoder panics on a marker text; Batch must isolate it into a
+// *parallel.PanicError naming the index.
+type panicEncoder struct{ dim int }
+
+func (e panicEncoder) Dim() int { return e.dim }
+func (e panicEncoder) Encode(text string) []float64 {
+	if text == "BOOM" {
+		panic("encoder exploded")
+	}
+	return make([]float64, e.dim)
+}
+
+func TestBatchAdapterIsolatesPanics(t *testing.T) {
+	_, err := Batch(panicEncoder{dim: 4}).EncodeBatch(context.Background(), []string{"ok", "BOOM", "ok"})
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *parallel.PanicError, got %v", err)
+	}
+	if pe.Index != 1 {
+		t.Fatalf("panic index = %d, want 1", pe.Index)
+	}
+}
+
+// shapeShifter violates the batch contract on demand.
+type shapeShifter struct {
+	dim      int
+	rowLen   int
+	rowCount int // -1 means "one per text"
+}
+
+func (e shapeShifter) Dim() int { return e.dim }
+func (e shapeShifter) EncodeBatch(_ context.Context, texts []string) ([][]float64, error) {
+	n := e.rowCount
+	if n < 0 {
+		n = len(texts)
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, e.rowLen)
+	}
+	return rows, nil
+}
+
+func TestIngressRejectsWrongRowLength(t *testing.T) {
+	els := []schema.Element{
+		{ID: schema.TableID("S", "A"), Text: "A"},
+		{ID: schema.TableID("S", "B"), Text: "B"},
+	}
+	_, err := EncodeElementsContext(context.Background(), 1, shapeShifter{dim: 8, rowLen: 5, rowCount: -1}, els)
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("want ErrDimMismatch, got %v", err)
+	}
+	// The error names the first offending element.
+	if want := string(els[0].ID.String()); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name element %s", err, want)
+	}
+}
+
+func TestIngressRejectsWrongRowCount(t *testing.T) {
+	els := []schema.Element{
+		{ID: schema.TableID("S", "A"), Text: "A"},
+		{ID: schema.TableID("S", "B"), Text: "B"},
+	}
+	_, err := EncodeElementsContext(context.Background(), 1, shapeShifter{dim: 8, rowLen: 8, rowCount: 1}, els)
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("want ErrDimMismatch, got %v", err)
+	}
+}

@@ -24,10 +24,12 @@
 package embed
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"sync"
 
+	"collabscope/internal/parallel"
 	"collabscope/internal/token"
 )
 
@@ -38,11 +40,79 @@ const DefaultDim = 768
 // Encoder transforms text sequences into fixed-size signatures. It is the
 // global language model E that all schemas agree on in phase (I) of
 // collaborative scoping.
+//
+// The contract is batch-first so remote backends (internal/encoder) can
+// amortise round trips: one call encodes a whole schema. Implementations
+// must return exactly len(texts) vectors of exactly Dim() entries each —
+// EncodeSchema* validates this at pipeline ingress and rejects violations
+// with ErrDimMismatch — and must be deterministic: the same texts yield
+// bit-identical signatures on every call, at any concurrency.
 type Encoder interface {
+	// EncodeBatch returns one signature per text, in input order.
+	EncodeBatch(ctx context.Context, texts []string) ([][]float64, error)
+	// Dim returns the signature length.
+	Dim() int
+}
+
+// TextEncoder is the one-string-at-a-time contract local encoders
+// implement; Batch adapts it to the batch-first Encoder interface.
+type TextEncoder interface {
 	// Encode returns the signature of a text sequence.
 	Encode(text string) []float64
 	// Dim returns the signature length.
 	Dim() int
+}
+
+// Batch adapts a TextEncoder to the batch-first Encoder contract. Texts
+// fan out over the worker pool (worker count from WithWorkers on the
+// context, GOMAXPROCS otherwise) with the pool's full guarantees: results
+// are bit-identical at any worker count, and a panicking Encode fails only
+// the batch — recovered into a *parallel.PanicError naming the text index
+// — never the process.
+func Batch(e TextEncoder) Encoder { return batchAdapter{enc: e} }
+
+type batchAdapter struct{ enc TextEncoder }
+
+func (a batchAdapter) Dim() int { return a.enc.Dim() }
+
+func (a batchAdapter) EncodeBatch(ctx context.Context, texts []string) ([][]float64, error) {
+	return encodeTexts(ctx, a.enc, texts)
+}
+
+// workersKey carries the pipeline's worker count to batch adapters.
+type workersKey struct{}
+
+// WithWorkers arms the context with the worker count local batch encoders
+// fan out over (n ≤ 0 means GOMAXPROCS). EncodeSchemaContext sets it from
+// its workers argument; remote backends ignore it.
+func WithWorkers(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// WorkersFromContext reads the worker count armed with WithWorkers
+// (0 — meaning GOMAXPROCS — when absent).
+func WorkersFromContext(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey{}).(int); ok {
+		return n
+	}
+	return 0
+}
+
+// encodeTexts is the shared local batch path: per-text fan-out over the
+// worker pool, preserving the pool's determinism and panic isolation.
+func encodeTexts(ctx context.Context, enc TextEncoder, texts []string) ([][]float64, error) {
+	out := make([][]float64, len(texts))
+	err := parallel.ForEach(ctx, WorkersFromContext(ctx), len(texts), func(i int) error {
+		out[i] = enc.Encode(texts[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // HashEncoder is the deterministic semantic hash encoder described in the
@@ -56,22 +126,23 @@ type HashEncoder struct {
 	cache map[string][]float64 // feature string → unnormalised feature vector
 }
 
-// Option configures a HashEncoder.
-type Option func(*HashEncoder)
+// HashOption configures a HashEncoder. (Renamed from Option so the
+// package-level option namespace is free for backend-level options.)
+type HashOption func(*HashEncoder)
 
 // WithDim sets the signature dimensionality (default DefaultDim).
-func WithDim(d int) Option {
+func WithDim(d int) HashOption {
 	return func(e *HashEncoder) { e.dim = d }
 }
 
 // WithNgramWeight sets the relative weight of the character-n-gram channel
 // against the token-concept channel (default 0.35).
-func WithNgramWeight(w float64) Option {
+func WithNgramWeight(w float64) HashOption {
 	return func(e *HashEncoder) { e.ngramWeight = w }
 }
 
 // NewHashEncoder returns an encoder with the given options.
-func NewHashEncoder(opts ...Option) *HashEncoder {
+func NewHashEncoder(opts ...HashOption) *HashEncoder {
 	e := &HashEncoder{
 		dim:         DefaultDim,
 		ngramWeight: 0.35,
@@ -89,6 +160,12 @@ func NewHashEncoder(opts ...Option) *HashEncoder {
 
 // Dim returns the signature length.
 func (e *HashEncoder) Dim() int { return e.dim }
+
+// EncodeBatch encodes every text, fanning out over the worker pool — the
+// batch-first Encoder contract, bit-identical to per-text Encode calls.
+func (e *HashEncoder) EncodeBatch(ctx context.Context, texts []string) ([][]float64, error) {
+	return encodeTexts(ctx, e, texts)
+}
 
 // Encode tokenizes the text, pools concept and n-gram feature vectors, and
 // returns the L2-normalised signature. Empty or token-free text yields a

@@ -12,7 +12,7 @@ import (
 	"collabscope/internal/schema"
 )
 
-func cos(e Encoder, a, b string) float64 {
+func cos(e TextEncoder, a, b string) float64 {
 	return linalg.CosineSimilarity(e.Encode(a), e.Encode(b))
 }
 

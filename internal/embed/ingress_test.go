@@ -46,7 +46,7 @@ func ingressSchema(t *testing.T) *schema.Schema {
 func TestEncodeSchemaIngressGuard(t *testing.T) {
 	s := ingressSchema(t)
 	for _, workers := range []int{1, 4} {
-		_, err := EncodeSchemaContext(context.Background(), workers, nanEncoder{dim: 8}, s)
+		_, err := EncodeSchemaContext(context.Background(), workers, Batch(nanEncoder{dim: 8}), s)
 		if !errors.Is(err, linalg.ErrNonFinite) {
 			t.Fatalf("workers=%d: err = %v, want ErrNonFinite", workers, err)
 		}
@@ -61,7 +61,7 @@ func TestEncodeSchemaIngressGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EncodeSchemaContext(context.Background(), 2, nanEncoder{dim: 8}, clean); err != nil {
+	if _, err := EncodeSchemaContext(context.Background(), 2, Batch(nanEncoder{dim: 8}), clean); err != nil {
 		t.Fatalf("clean schema rejected: %v", err)
 	}
 }

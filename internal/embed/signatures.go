@@ -2,13 +2,20 @@ package embed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"collabscope/internal/linalg"
 	"collabscope/internal/obs"
-	"collabscope/internal/parallel"
 	"collabscope/internal/schema"
 )
+
+// ErrDimMismatch reports an Encoder that violated the batch contract:
+// a signature whose length differs from the encoder's declared Dim(), or a
+// batch with a vector count differing from the text count. Caught at
+// EncodeSchema* ingress — before the mismatch can silently truncate or
+// zero-pad rows of the signature matrix and corrupt every downstream model.
+var ErrDimMismatch = errors.New("encoder violated its batch contract")
 
 // SignatureSet couples schema element identifiers with their signatures,
 // row i of Matrix belonging to IDs[i]. It is the S_k^v of the paper.
@@ -33,7 +40,7 @@ func EncodeSchema(enc Encoder, s *schema.Schema) *SignatureSet {
 // the pool; each worker writes its own signature row, so the result is
 // identical for any worker count.
 func EncodeSchemaContext(ctx context.Context, workers int, enc Encoder, s *schema.Schema) (*SignatureSet, error) {
-	return encodeElements(ctx, workers, enc, s.Elements())
+	return EncodeElementsContext(ctx, workers, enc, s.Elements())
 }
 
 // EncodeSchemaWithSamples is EncodeSchema with attribute serialisations
@@ -41,32 +48,50 @@ func EncodeSchemaContext(ctx context.Context, workers int, enc Encoder, s *schem
 // shows this enrichment helps some pairs and hurts others, and reduces
 // matching effectiveness overall.
 func EncodeSchemaWithSamples(enc Encoder, s *schema.Schema) *SignatureSet {
-	set, _ := encodeElements(context.Background(), 0, enc, s.ElementsWithSamples())
+	set, _ := EncodeElementsContext(context.Background(), 0, enc, s.ElementsWithSamples())
 	return set
 }
 
-func encodeElements(ctx context.Context, workers int, enc Encoder, els []schema.Element) (*SignatureSet, error) {
+// EncodeElementsContext encodes already-serialised elements — the entry
+// point the enrichment stage (internal/enrich) feeds after rewriting
+// element texts. The whole element list goes to the encoder as ONE batch
+// (local backends fan out over the worker pool internally; remote backends
+// amortise round trips), then every returned signature is validated at
+// this ingress: exactly one vector per element (ErrDimMismatch), exactly
+// Dim() entries each (ErrDimMismatch), and all entries finite
+// (linalg.ErrNonFinite) — a NaN/Inf signature would flow unchecked into
+// every trained model and linkability range l_k (Definition 3), poisoning
+// all downstream Algorithm 2 verdicts. Errors name the lowest offending
+// element, matching the pool's lowest-index determinism.
+func EncodeElementsContext(ctx context.Context, workers int, enc Encoder, els []schema.Element) (*SignatureSet, error) {
 	ctx, sp := obs.Start(ctx, "embed.encode")
 	sp.Annotate("elements", int64(len(els)))
 	defer sp.End()
 	ids := make([]schema.ElementID, len(els))
-	m := linalg.NewDense(len(els), enc.Dim())
-	err := parallel.ForEach(ctx, workers, len(els), func(i int) error {
-		ids[i] = els[i].ID
-		row := m.RowView(i)
-		copy(row, enc.Encode(els[i].Text))
-		// Pipeline ingress guard: a NaN/Inf signature would flow unchecked
-		// into every trained model and linkability range l_k (Definition 3),
-		// poisoning all downstream Algorithm 2 verdicts. Fail here, naming
-		// the offending element, under the pool's lowest-index determinism.
-		if j := linalg.FirstNonFinite(row); j >= 0 {
-			return fmt.Errorf("embed: signature of %s is non-finite at dimension %d (%v): %w",
-				els[i].ID, j, row[j], linalg.ErrNonFinite)
-		}
-		return nil
-	})
+	texts := make([]string, len(els))
+	for i, el := range els {
+		ids[i] = el.ID
+		texts[i] = el.Text
+	}
+	rows, err := enc.EncodeBatch(WithWorkers(ctx, workers), texts)
 	if err != nil {
 		return nil, err
+	}
+	if len(rows) != len(els) {
+		return nil, fmt.Errorf("embed: encoder returned %d signatures for %d elements: %w",
+			len(rows), len(els), ErrDimMismatch)
+	}
+	m := linalg.NewDense(len(els), enc.Dim())
+	for i, row := range rows {
+		if len(row) != enc.Dim() {
+			return nil, fmt.Errorf("embed: signature of %s has %d dimensions, encoder declares Dim() = %d: %w",
+				els[i].ID, len(row), enc.Dim(), ErrDimMismatch)
+		}
+		if j := linalg.FirstNonFinite(row); j >= 0 {
+			return nil, fmt.Errorf("embed: signature of %s is non-finite at dimension %d (%v): %w",
+				els[i].ID, j, row[j], linalg.ErrNonFinite)
+		}
+		copy(m.RowView(i), row)
 	}
 	return &SignatureSet{IDs: ids, Matrix: m}, nil
 }

@@ -1,0 +1,44 @@
+package encoder
+
+import (
+	"testing"
+)
+
+// FuzzEncoderResponseJSON hammers the response decoder with arbitrary
+// bytes and shape hints: any input may be rejected, none may panic, and
+// anything accepted must honour the declared envelope (version, checksum,
+// dimensions, finite entries). Wired into `make fuzz-smoke`.
+func FuzzEncoderResponseJSON(f *testing.F) {
+	good, err := MarshalResponse(EncodeResponse{Dim: 2, Vectors: [][]float64{{0.5, -1.25}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good, 2, 1)
+	f.Add([]byte(`{}`), 0, -1)
+	f.Add([]byte(`{"version":1,"dim":2,"vectors":[[1,2]],"sum":"beef"}`), 2, 1)
+	f.Add([]byte(`{"version":1,"dim":2,"vectors":[[1e999,2]],"sum":""}`), 2, 1)
+	f.Add([]byte(`not json at all`), 8, 4)
+	f.Fuzz(func(t *testing.T, data []byte, wantDim, wantTexts int) {
+		resp, err := UnmarshalResponse(data, wantDim, wantTexts)
+		if err != nil {
+			return
+		}
+		if resp.Version != WireVersion {
+			t.Fatalf("accepted version %d", resp.Version)
+		}
+		if resp.Dim <= 0 {
+			t.Fatalf("accepted dim %d", resp.Dim)
+		}
+		if wantDim > 0 && resp.Dim != wantDim {
+			t.Fatalf("accepted dim %d against want %d", resp.Dim, wantDim)
+		}
+		if wantTexts >= 0 && len(resp.Vectors) != wantTexts {
+			t.Fatalf("accepted %d vectors against want %d", len(resp.Vectors), wantTexts)
+		}
+		for _, v := range resp.Vectors {
+			if len(v) != resp.Dim {
+				t.Fatalf("accepted ragged vector of %d dims", len(v))
+			}
+		}
+	})
+}

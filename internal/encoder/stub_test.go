@@ -1,0 +1,101 @@
+package encoder
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"collabscope/internal/embed"
+)
+
+// TestStubRejectsMalformedRequests pins the stub's ingress discipline:
+// wrong method, oversized/garbage bodies, tampered checksums, and
+// version skew are all refused before they touch the encoder, and none
+// of them count as served requests.
+func TestStubRejectsMalformedRequests(t *testing.T) {
+	stub := NewStubServer(embed.NewHashEncoder(embed.WithDim(8)))
+
+	get := httptest.NewRecorder()
+	stub.ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/", nil))
+	if get.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", get.Code)
+	}
+
+	garbage := httptest.NewRecorder()
+	stub.ServeHTTP(garbage, httptest.NewRequest(http.MethodPost, "/", strings.NewReader("{not json")))
+	if garbage.Code != http.StatusBadRequest {
+		t.Fatalf("garbage status = %d, want 400", garbage.Code)
+	}
+
+	oversized := httptest.NewRecorder()
+	stub.ServeHTTP(oversized, httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(make([]byte, maxResponseBody+2))))
+	if oversized.Code != http.StatusBadRequest {
+		t.Fatalf("oversized status = %d, want 400", oversized.Code)
+	}
+
+	sealed, err := MarshalRequest(EncodeRequest{Dim: 8, Texts: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(sealed, []byte(`"a"`), []byte(`"b"`), 1)
+	bad := httptest.NewRecorder()
+	stub.ServeHTTP(bad, httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(tampered)))
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("tampered status = %d, want 400", bad.Code)
+	}
+
+	if stub.Requests() != 0 || stub.Texts() != 0 {
+		t.Fatalf("rejected requests were counted: %d/%d", stub.Requests(), stub.Texts())
+	}
+
+	ok := httptest.NewRecorder()
+	stub.ServeHTTP(ok, httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(sealed)))
+	if ok.Code != http.StatusOK {
+		t.Fatalf("sealed request status = %d: %s", ok.Code, ok.Body)
+	}
+	if stub.Requests() != 1 || stub.Texts() != 1 {
+		t.Fatalf("served counters = %d/%d, want 1/1", stub.Requests(), stub.Texts())
+	}
+	if _, err := UnmarshalResponse(ok.Body.Bytes(), 8, 1); err != nil {
+		t.Fatalf("stub response failed validation: %v", err)
+	}
+}
+
+// TestRequestWireValidation walks UnmarshalRequest's refusal branches.
+func TestRequestWireValidation(t *testing.T) {
+	if _, err := UnmarshalRequest([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := UnmarshalRequest([]byte(`{"version":99,"dim":8,"sum":"x"}`)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew: %v", err)
+	}
+	if _, err := UnmarshalRequest([]byte(`{"version":1,"dim":0,"sum":"x"}`)); err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("zero dim: %v", err)
+	}
+	if _, err := UnmarshalRequest([]byte(`{"version":1,"dim":8}`)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("missing trailer: %v", err)
+	}
+}
+
+// TestNewSpecErrors walks the registry's refusal branches.
+func TestNewSpecErrors(t *testing.T) {
+	if _, err := New("hash:extra", Config{}); err == nil || !strings.Contains(err.Error(), "no parameter") {
+		t.Fatalf("hash with param: %v", err)
+	}
+	if _, err := New("remote:", Config{}); err == nil || !strings.Contains(err.Error(), "URL") {
+		t.Fatalf("remote without URL: %v", err)
+	}
+	if _, err := New("remote: ", Config{}); err == nil {
+		t.Fatal("remote with blank URL accepted")
+	}
+	// Default spec is the hash encoder at the default dimension.
+	enc, err := New("", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Dim() != embed.DefaultDim {
+		t.Fatalf("default dim = %d, want %d", enc.Dim(), embed.DefaultDim)
+	}
+}

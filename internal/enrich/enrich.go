@@ -1,0 +1,88 @@
+// Package enrich is the deterministic metadata-enrichment stage between
+// schema load and signature encoding (DESIGN.md §16). Schemora-style
+// studies show that enriching element metadata before embedding is where
+// much of the matching-quality headroom lives; this package provides
+// composable, label-free enrichers behind one interface an LLM-backed
+// enricher can implement later.
+//
+// The contract every enricher honours:
+//
+//   - Determinism: Annotations is a pure function of (schema, elements).
+//     The same inputs yield byte-identical annotations on every call, so
+//     enriched signatures stay bit-identical at any worker count and the
+//     content-addressed encoder cache keys remain stable.
+//   - Label freedom: enrichers see schema STRUCTURE only, never
+//     schema.GroundTruth — evaluation labels must not leak into the
+//     signatures being evaluated.
+//   - Append-only: enrichment appends context tokens to an element's
+//     serialisation; it never rewrites or removes the original text, so
+//     disabling enrichers recovers the base pipeline exactly.
+package enrich
+
+import (
+	"context"
+	"strings"
+
+	"collabscope/internal/obs"
+	"collabscope/internal/schema"
+)
+
+// Enricher derives extra context text per element. Annotations returns one
+// string per element, aligned with els; "" means no enrichment for that
+// element. The schema-level signature (rather than per-element calls) lets
+// implementations precompute structure once — or, for a future LLM-backed
+// enricher, batch one request per schema.
+type Enricher interface {
+	// Name identifies the enricher in metrics, spans, and CLI specs.
+	Name() string
+	// Annotations returns the extra context per element, aligned with els.
+	Annotations(s *schema.Schema, els []schema.Element) []string
+}
+
+// Apply runs the enrichers in order over the elements, appending each
+// non-empty annotation to the element's text (separated by one space).
+// The input slice is not mutated. Per-enricher observability: a span
+// "enrich.<name>" annotated with the applied count, plus counters
+// "enrich.<name>.applied" and "enrich.<name>.elements".
+func Apply(ctx context.Context, enrichers []Enricher, s *schema.Schema, els []schema.Element) []schema.Element {
+	if len(enrichers) == 0 {
+		return els
+	}
+	ctx, sp := obs.Start(ctx, "enrich.apply")
+	sp.Annotate("elements", int64(len(els)))
+	sp.Annotate("enrichers", int64(len(enrichers)))
+	defer sp.End()
+	reg := obs.FromContext(ctx)
+	out := make([]schema.Element, len(els))
+	copy(out, els)
+	for _, en := range enrichers {
+		_, esp := obs.Start(ctx, "enrich."+en.Name())
+		annotations := en.Annotations(s, out)
+		applied := 0
+		for i := range out {
+			if i < len(annotations) && annotations[i] != "" {
+				out[i].Text += " " + annotations[i]
+				applied++
+			}
+		}
+		esp.Annotate("applied", int64(applied))
+		esp.End()
+		reg.Counter("enrich." + en.Name() + ".applied").Add(int64(applied))
+		reg.Counter("enrich." + en.Name() + ".elements").Add(int64(len(out)))
+	}
+	return out
+}
+
+// Schema serialises the schema's elements and applies the enrichers — the
+// enrichment-stage replacement for schema.Schema.Elements().
+func Schema(ctx context.Context, enrichers []Enricher, s *schema.Schema) []schema.Element {
+	return Apply(ctx, enrichers, s, s.Elements())
+}
+
+// joinTokens renders a token list as one annotation string.
+func joinTokens(tokens []string) string {
+	if len(tokens) == 0 {
+		return ""
+	}
+	return strings.Join(tokens, " ")
+}

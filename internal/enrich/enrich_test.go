@@ -1,0 +1,140 @@
+package enrich
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"collabscope/internal/obs"
+	"collabscope/internal/schema"
+)
+
+const crmDDL = `
+CREATE TABLE CUSTOMERS (
+  CUST_ID INT PRIMARY KEY,
+  ACCT_BAL DECIMAL
+);
+CREATE TABLE ORDERS (
+  ORDER_ID INT PRIMARY KEY,
+  CUSTOMER_ID INT REFERENCES CUSTOMERS(CUST_ID),
+  ORDER_DATE DATE
+);
+`
+
+func crm(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.ParseDDL("crm", crmDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestApplyIsDeterministic pins the enrichment contract: two runs over
+// the same schema yield byte-identical element texts.
+func TestApplyIsDeterministic(t *testing.T) {
+	s := crm(t)
+	enrichers := []Enricher{NewLexicon(), NewFKContext()}
+	a := Schema(context.Background(), enrichers, s)
+	b := Schema(context.Background(), enrichers, s)
+	if len(a) != len(b) {
+		t.Fatalf("element counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Text != b[i].Text {
+			t.Fatalf("element %d diverged:\n%q\n%q", i, a[i].Text, b[i].Text)
+		}
+	}
+}
+
+// TestApplyIsAppendOnly pins that every enriched text starts with the
+// original serialisation — disabling enrichment recovers the base
+// pipeline exactly.
+func TestApplyIsAppendOnly(t *testing.T) {
+	s := crm(t)
+	base := s.Elements()
+	enriched := Schema(context.Background(), []Enricher{NewLexicon(), NewFKContext()}, s)
+	for i := range base {
+		if !strings.HasPrefix(enriched[i].Text, base[i].Text) {
+			t.Fatalf("enrichment rewrote %s:\nbase %q\nenriched %q", base[i].ID, base[i].Text, enriched[i].Text)
+		}
+	}
+	// The input slice itself is untouched.
+	again := s.Elements()
+	for i := range base {
+		if base[i].Text != again[i].Text {
+			t.Fatalf("enrichment mutated the schema's own elements at %d", i)
+		}
+	}
+}
+
+func TestLexiconExpandsAbbreviations(t *testing.T) {
+	s := crm(t)
+	enriched := Schema(context.Background(), []Enricher{NewLexicon()}, s)
+	found := false
+	for _, el := range enriched {
+		if el.ID == schema.AttributeID("crm", "CUSTOMERS", "ACCT_BAL") {
+			found = true
+			if !strings.Contains(el.Text, "account") || !strings.Contains(el.Text, "balance") {
+				t.Fatalf("ACCT_BAL not expanded: %q", el.Text)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ACCT_BAL element missing")
+	}
+}
+
+func TestFKContextAnnotatesForeignKeys(t *testing.T) {
+	s := crm(t)
+	enriched := Schema(context.Background(), []Enricher{NewFKContext()}, s)
+	for _, el := range enriched {
+		switch el.ID {
+		case schema.AttributeID("crm", "ORDERS", "CUSTOMER_ID"):
+			// The FK attribute pools its target table's vocabulary.
+			if !strings.Contains(el.Text, "customers") {
+				t.Fatalf("FK attribute lacks target context: %q", el.Text)
+			}
+		case schema.AttributeID("crm", "ORDERS", "ORDER_DATE"):
+			// Non-FK attributes stay untouched.
+			if el.Text != s.Elements()[indexOf(t, s, el.ID)].Text {
+				t.Fatalf("non-FK attribute was annotated: %q", el.Text)
+			}
+		}
+	}
+}
+
+func indexOf(t *testing.T, s *schema.Schema, id schema.ElementID) int {
+	t.Helper()
+	for i, el := range s.Elements() {
+		if el.ID == id {
+			return i
+		}
+	}
+	t.Fatalf("element %s not found", id)
+	return -1
+}
+
+func TestApplyCounters(t *testing.T) {
+	s := crm(t)
+	reg := obs.NewRegistry()
+	ctx := obs.EnsureContext(context.Background(), reg, nil)
+	Schema(ctx, []Enricher{NewLexicon(), NewFKContext()}, s)
+	if got := reg.Counter("enrich.lexicon.elements").Value(); got == 0 {
+		t.Fatal("lexicon elements counter never ticked")
+	}
+	if got := reg.Counter("enrich.fk.applied").Value(); got != 1 {
+		t.Fatalf("fk applied counter = %d, want 1 (only CUSTOMER_ID)", got)
+	}
+}
+
+func TestApplyNoEnrichersIsIdentity(t *testing.T) {
+	s := crm(t)
+	els := s.Elements()
+	out := Apply(context.Background(), nil, s, els)
+	for i := range els {
+		if out[i] != els[i] {
+			t.Fatalf("no-enricher pass changed element %d", i)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package enrich
+
+import (
+	"collabscope/internal/schema"
+	"collabscope/internal/token"
+)
+
+// FKContext pools referential context into foreign-key attributes: each FK
+// attribute is annotated with its reconstructed target table's name and
+// that table's key attributes (schema.FKTargets — structure-derived, never
+// ground truth). A bare CUSTOMER_ID column thereby carries the vocabulary
+// of the CUSTOMERS table it references, so signature similarity reflects
+// the join relationship the flat serialisation drops.
+type FKContext struct{}
+
+// NewFKContext returns the foreign-key context enricher.
+func NewFKContext() FKContext { return FKContext{} }
+
+// Name implements Enricher.
+func (FKContext) Name() string { return "fk" }
+
+// Annotations implements Enricher.
+func (FKContext) Annotations(s *schema.Schema, els []schema.Element) []string {
+	targets := schema.FKTargets(s)
+	out := make([]string, len(els))
+	for i, el := range els {
+		target, ok := targets[el.ID]
+		if !ok {
+			continue
+		}
+		t := s.Table(target)
+		if t == nil {
+			continue
+		}
+		ctxTokens := token.Normalize(t.Name)
+		for _, a := range t.Attributes {
+			if a.Constraint == schema.PrimaryKey {
+				ctxTokens = append(ctxTokens, token.Normalize(a.Name)...)
+			}
+		}
+		out[i] = joinTokens(ctxTokens)
+	}
+	return out
+}

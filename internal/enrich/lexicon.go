@@ -1,0 +1,31 @@
+package enrich
+
+import (
+	"collabscope/internal/schema"
+	"collabscope/internal/token"
+)
+
+// Lexicon expands every element's tokens through the grown
+// abbreviation/synonym lexicon (token.Enrich): enrichment-only
+// abbreviation expansions (ACCT → account) plus all members of each
+// token's curated synonym group (CLIENT → buyer, customer, purchaser, …).
+// Appending the whole group strengthens the bridge between differently
+// labelled but synonymous metadata in BOTH encoder channels — the n-gram
+// channel sees the shared surface forms the concept channel alone cannot
+// provide.
+type Lexicon struct{}
+
+// NewLexicon returns the lexicon enricher.
+func NewLexicon() Lexicon { return Lexicon{} }
+
+// Name implements Enricher.
+func (Lexicon) Name() string { return "lexicon" }
+
+// Annotations implements Enricher.
+func (Lexicon) Annotations(_ *schema.Schema, els []schema.Element) []string {
+	out := make([]string, len(els))
+	for i, el := range els {
+		out[i] = joinTokens(token.Enrich(token.Normalize(el.Text)))
+	}
+	return out
+}

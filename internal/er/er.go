@@ -11,6 +11,7 @@
 package er
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -62,13 +63,15 @@ type Source struct {
 	Records []Record
 }
 
-// EncodeSource encodes all records of a source into a signature set.
+// EncodeSource encodes all records of a source into a signature set. All
+// record serialisations go to the encoder as one batch (amortising round
+// trips on remote backends), validated through the same ingress guard as
+// schema encoding.
 func EncodeSource(enc embed.Encoder, src Source) (*embed.SignatureSet, error) {
 	if len(src.Records) == 0 {
 		return nil, fmt.Errorf("er: source %s has no records", src.Name)
 	}
-	ids := make([]schema.ElementID, len(src.Records))
-	m := linalg.NewDense(len(src.Records), enc.Dim())
+	els := make([]schema.Element, len(src.Records))
 	seen := map[string]bool{}
 	for i, r := range src.Records {
 		if r.Source != src.Name {
@@ -78,10 +81,9 @@ func EncodeSource(enc embed.Encoder, src Source) (*embed.SignatureSet, error) {
 			return nil, fmt.Errorf("er: duplicate record key %s in source %s", r.Key, src.Name)
 		}
 		seen[r.Key] = true
-		ids[i] = r.ID()
-		copy(m.RowView(i), enc.Encode(r.Serialize()))
+		els[i] = schema.Element{ID: r.ID(), Text: r.Serialize()}
 	}
-	return &embed.SignatureSet{IDs: ids, Matrix: m}, nil
+	return embed.EncodeElementsContext(context.Background(), 0, enc, els)
 }
 
 // Scope runs collaborative scoping over record sources at explained

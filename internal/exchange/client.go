@@ -17,6 +17,7 @@ import (
 
 	"collabscope/internal/core"
 	"collabscope/internal/faultinject"
+	"collabscope/internal/lru"
 	"collabscope/internal/obs"
 	"collabscope/internal/parallel"
 )
@@ -118,10 +119,19 @@ type Client struct {
 
 	// cache maps model URL → the last validated model and its ETag. Keys
 	// are the caller's (logical) URLs, so a replica group shares one cache
-	// entry — content-hash ETags make replicas interchangeable.
-	cacheMu sync.Mutex
-	cache   map[string]cacheEntry
+	// entry — content-hash ETags make replicas interchangeable. The cache
+	// is size-capped (WithModelCacheSize) with least-recently-used
+	// eviction, so a long-lived client scanning many peers holds a bounded
+	// number of models; evictions are counted as "exchange.etag_evictions".
+	cacheMu  sync.Mutex
+	cache    *lru.Cache[string, cacheEntry]
+	cacheCap int
 }
+
+// DefaultModelCacheSize bounds the per-URL ETag/model cache: enough for a
+// federation-scale peer set, small enough that cached models cannot grow
+// without bound in a long-lived client.
+const DefaultModelCacheSize = 256
 
 // cacheEntry is one validated model frozen under its content-hash ETag.
 type cacheEntry struct {
@@ -173,6 +183,17 @@ func WithFaultInjector(in *faultinject.Injector) ClientOption {
 // registry keeps instrumentation disabled.
 func WithMetrics(reg *obs.Registry) ClientOption {
 	return func(c *Client) { c.reg = reg }
+}
+
+// WithModelCacheSize bounds the per-URL ETag/model cache to at most n
+// entries (DefaultModelCacheSize if never set), evicting the least
+// recently used model when full.
+func WithModelCacheSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.cacheCap = n
+		}
+	}
 }
 
 // NewClient returns a fetching client with the default transport and retry
@@ -601,22 +622,33 @@ func (c *Client) FetchModel(ctx context.Context, rawURL string) (*core.Model, er
 	return m, nil
 }
 
-// cacheGet returns the cached entry for a model URL, if any.
+// cacheGet returns the cached entry for a model URL, if any, marking it
+// most recently used.
 func (c *Client) cacheGet(rawURL string) (cacheEntry, bool) {
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
-	e, ok := c.cache[rawURL]
-	return e, ok
+	if c.cache == nil {
+		return cacheEntry{}, false
+	}
+	return c.cache.Get(rawURL)
 }
 
-// cachePut stores a validated model under its ETag.
+// cachePut stores a validated model under its ETag, evicting the least
+// recently used entry once the cache is full.
 func (c *Client) cachePut(rawURL string, e cacheEntry) {
 	c.cacheMu.Lock()
-	defer c.cacheMu.Unlock()
 	if c.cache == nil {
-		c.cache = make(map[string]cacheEntry)
+		cap := c.cacheCap
+		if cap <= 0 {
+			cap = DefaultModelCacheSize
+		}
+		c.cache = lru.New[string, cacheEntry](cap)
 	}
-	c.cache[rawURL] = e
+	_, evicted := c.cache.Put(rawURL, e)
+	c.cacheMu.Unlock()
+	if evicted {
+		c.reg.Counter("exchange.etag_evictions").Inc()
+	}
 }
 
 // FetchPeer lists one peer's published models and fetches them all. It

@@ -291,5 +291,34 @@ func RunBench(cfg Config) (*BenchReport, error) {
 			"breaker_opened": float64(chaos.BreakerOpened),
 			"slo_passed":     passed,
 		}})
+
+	// Encoder backend stage: hash vs remote-stub vs enriched-hash on OC3.
+	// The gated wall times are the CPU-bound local arms (hash and enriched
+	// encode); the loopback round-trip timings ride along as metrics, where
+	// scheduler noise cannot trip the calibration-normalised gate.
+	encb, err := RunEncoderBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	conformant := 0.0
+	if encb.Conformant {
+		conformant = 1.0
+	}
+	rep.Entries = append(rep.Entries,
+		BenchEntry{Name: "encoder_backends", WallNS: encb.HashNS, Metrics: map[string]float64{
+			"remote_cold_ns": float64(encb.RemoteColdNS),
+			"remote_warm_ns": float64(encb.RemoteWarmNS),
+			"warm_speedup":   encb.WarmSpeedup,
+			"remote_vs_hash": encb.RemoteVsHash,
+			"cold_requests":  float64(encb.ColdRequests),
+			"warm_requests":  float64(encb.WarmRequests),
+			"conformant":     conformant,
+		}},
+		BenchEntry{Name: "encoder_enrichment", WallNS: encb.EnrichedNS, Metrics: map[string]float64{
+			"base_aucpr":     encb.BaseAUCPR,
+			"enriched_aucpr": encb.EnrichedAUCPR,
+			"delta_aucpr":    encb.Delta,
+		}},
+	)
 	return rep, nil
 }

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"collabscope/internal/checkpoint"
+	"collabscope/internal/core"
+	"collabscope/internal/datasets"
+	"collabscope/internal/embed"
+	"collabscope/internal/encoder"
+	"collabscope/internal/enrich"
+	"collabscope/internal/obs"
+	"collabscope/internal/schema"
+)
+
+// EncoderBenchResult measures the pluggable encoder backends against each
+// other on OC3 (DESIGN.md §16): the local hash baseline, the remote HTTP
+// backend cold (every text a cache miss, coalesced round trips) and warm
+// (every text served from the content-addressed signature cache), and the
+// enriched-hash scoping-quality arm.
+type EncoderBenchResult struct {
+	// Encode wall times over all OC3 schemas.
+	HashNS, RemoteColdNS, RemoteWarmNS, EnrichedNS int64
+	// WarmSpeedup is RemoteColdNS / RemoteWarmNS.
+	WarmSpeedup float64
+	// RemoteVsHash is RemoteColdNS / HashNS — the round-trip overhead paid
+	// for a remote backend before the cache warms.
+	RemoteVsHash float64
+	// Conformant reports whether the remote backend reproduced the local
+	// hash signatures bit-for-bit, cold and warm.
+	Conformant bool
+	// ColdRequests counts the coalesced HTTP round trips of the cold
+	// encode; WarmRequests must be zero (the cache absorbs everything).
+	ColdRequests, WarmRequests int64
+	// BaseAUCPR and EnrichedAUCPR are collaborative-scoping AUC-PR without
+	// and with the enrichment stage (lexicon + FK context); Delta is
+	// enriched minus base.
+	BaseAUCPR, EnrichedAUCPR, Delta float64
+}
+
+// RunEncoderBench runs the encoder-backend comparison on OC3. The remote
+// backend talks to an in-process stub server over loopback HTTP wrapping
+// an identical hash encoder, so the comparison isolates the transport,
+// coalescing, and cache layers; the signature cache persists to a
+// throwaway checkpoint directory.
+func RunEncoderBench(cfg Config) (*EncoderBenchResult, error) {
+	d := datasets.OC3()
+	res := &EncoderBenchResult{}
+
+	// The two CPU-bound arms (hash, enriched-hash) are what benchdiff
+	// gates, so they repeat encodeReps times to rise above scheduler noise;
+	// the loopback HTTP arms stay single-pass (their timings ride along as
+	// ungated metrics).
+	const encodeReps = 5
+
+	hash := embed.NewHashEncoder(embed.WithDim(cfg.Dim))
+	var base []*embed.SignatureSet
+	sw := obs.NewStopwatch()
+	for rep := 0; rep < encodeReps; rep++ {
+		var err error
+		if base, err = embed.EncodeSchemasContext(context.Background(), 0, hash, d.Schemas); err != nil {
+			return nil, fmt.Errorf("experiments: encoder bench hash arm: %w", err)
+		}
+	}
+	res.HashNS = int64(sw.Elapsed())
+
+	stub := encoder.NewStubServer(embed.NewHashEncoder(embed.WithDim(cfg.Dim)))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoder bench listener: %w", err)
+	}
+	hs := &http.Server{Handler: stub}
+	go hs.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on shutdown
+	defer hs.Close()
+
+	cacheDir, err := os.MkdirTemp("", "collabscope-sigcache-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cacheDir)
+	store, err := checkpoint.Open(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := encoder.NewRemote("http://"+ln.Addr().String(),
+		encoder.WithDim(cfg.Dim), encoder.WithStore(store))
+	if err != nil {
+		return nil, err
+	}
+
+	sw = obs.NewStopwatch()
+	cold, err := embed.EncodeSchemasContext(context.Background(), 0, remote, d.Schemas)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoder bench remote cold arm: %w", err)
+	}
+	res.RemoteColdNS = int64(sw.Elapsed())
+	res.ColdRequests = stub.Requests()
+
+	sw = obs.NewStopwatch()
+	warm, err := embed.EncodeSchemasContext(context.Background(), 0, remote, d.Schemas)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoder bench remote warm arm: %w", err)
+	}
+	res.RemoteWarmNS = int64(sw.Elapsed())
+	res.WarmRequests = stub.Requests() - res.ColdRequests
+
+	res.Conformant = setsEqual(base, cold) && setsEqual(base, warm)
+	if res.RemoteWarmNS > 0 {
+		res.WarmSpeedup = float64(res.RemoteColdNS) / float64(res.RemoteWarmNS)
+	}
+	if res.HashNS > 0 {
+		res.RemoteVsHash = float64(res.RemoteColdNS) / float64(res.HashNS)
+	}
+
+	// Enriched-hash quality arm: the same encoder, with the deterministic
+	// enrichment stage (lexicon + FK context) ahead of it.
+	enrichers := []enrich.Enricher{enrich.NewLexicon(), enrich.NewFKContext()}
+	enriched := make([]*embed.SignatureSet, len(d.Schemas))
+	sw = obs.NewStopwatch()
+	for rep := 0; rep < encodeReps; rep++ {
+		for i, s := range d.Schemas {
+			set, err := embed.EncodeElementsContext(context.Background(), 0, hash,
+				enrich.Schema(context.Background(), enrichers, s))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: encoder bench enriched arm: %w", err)
+			}
+			enriched[i] = set
+		}
+	}
+	res.EnrichedNS = int64(sw.Elapsed())
+
+	labels := d.Labels()
+	if res.BaseAUCPR, err = scopeAUCPR(cfg, base, labels); err != nil {
+		return nil, err
+	}
+	if res.EnrichedAUCPR, err = scopeAUCPR(cfg, enriched, labels); err != nil {
+		return nil, err
+	}
+	res.Delta = res.EnrichedAUCPR - res.BaseAUCPR
+	return res, nil
+}
+
+// scopeAUCPR evaluates collaborative scoping quality over signature sets.
+func scopeAUCPR(cfg Config, sets []*embed.SignatureSet, labels map[schema.ElementID]bool) (float64, error) {
+	scoper, err := core.NewScoper(sets)
+	if err != nil {
+		return 0, err
+	}
+	sum, err := scoper.Evaluate(labels, cfg.VGrid, cfg.ROCLambda)
+	if err != nil {
+		return 0, err
+	}
+	return sum.AUCPR, nil
+}
+
+// setsEqual reports bit-identical signature sets: same identifiers, same
+// matrix entries (exact float64 equality — the conformance bar).
+func setsEqual(a, b []*embed.SignatureSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k].Len() != b[k].Len() || a[k].Matrix.Cols() != b[k].Matrix.Cols() {
+			return false
+		}
+		for i := 0; i < a[k].Len(); i++ {
+			if a[k].IDs[i] != b[k].IDs[i] {
+				return false
+			}
+			ra, rb := a[k].Matrix.RowView(i), b[k].Matrix.RowView(i)
+			for j := range ra {
+				if ra[j] != rb[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestRunEncoderBench pins the encoder-backend comparison end to end: the
+// remote stub must be conformant with the local hash encoder (cold and
+// warm), the cold pass must pay at least one coalesced round trip, the
+// warm pass must be served entirely from the signature cache, and both
+// quality arms must produce usable AUC-PR numbers.
+func TestRunEncoderBench(t *testing.T) {
+	res, err := RunEncoderBench(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conformant {
+		t.Fatal("remote backend diverged from the hash encoder")
+	}
+	if res.ColdRequests == 0 {
+		t.Fatal("cold pass made no HTTP requests")
+	}
+	if res.WarmRequests != 0 {
+		t.Fatalf("warm pass made %d requests, want 0 (cache)", res.WarmRequests)
+	}
+	if res.HashNS <= 0 || res.RemoteColdNS <= 0 || res.RemoteWarmNS <= 0 || res.EnrichedNS <= 0 {
+		t.Fatalf("non-positive wall times: %+v", res)
+	}
+	if res.BaseAUCPR <= 0 || res.BaseAUCPR > 1 || res.EnrichedAUCPR <= 0 || res.EnrichedAUCPR > 1 {
+		t.Fatalf("AUC-PR out of range: base %v enriched %v", res.BaseAUCPR, res.EnrichedAUCPR)
+	}
+	if res.Delta != res.EnrichedAUCPR-res.BaseAUCPR {
+		t.Fatalf("Delta %v inconsistent with arms %v/%v", res.Delta, res.BaseAUCPR, res.EnrichedAUCPR)
+	}
+}

@@ -1,0 +1,74 @@
+package schema
+
+import "testing"
+
+const fkDDL = `
+CREATE TABLE CUSTOMERS (
+  CUST_ID INT PRIMARY KEY
+);
+CREATE TABLE ORDERS (
+  ORDER_ID INT PRIMARY KEY,
+  CUSTOMER_ID INT REFERENCES CUSTOMERS(CUST_ID),
+  STATUS TEXT
+);
+CREATE TABLE ORDER_ITEMS (
+  ITEM_ID INT PRIMARY KEY,
+  ORDER_ID INT REFERENCES ORDERS(ORDER_ID)
+);
+`
+
+func TestFKTargetsReconstruction(t *testing.T) {
+	s, err := ParseDDL("shop", fkDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := FKTargets(s)
+
+	// CUSTOMER_ID resolves to CUSTOMERS (plural-insensitive token match).
+	if got := targets[AttributeID("shop", "ORDERS", "CUSTOMER_ID")]; got != "CUSTOMERS" {
+		t.Fatalf("CUSTOMER_ID target = %q, want CUSTOMERS", got)
+	}
+	// ORDER_ID in ORDER_ITEMS resolves to ORDERS, not its own table.
+	if got := targets[AttributeID("shop", "ORDER_ITEMS", "ORDER_ID")]; got != "ORDERS" {
+		t.Fatalf("ORDER_ITEMS.ORDER_ID target = %q, want ORDERS", got)
+	}
+	// Non-FK attributes get no entry.
+	if got, ok := targets[AttributeID("shop", "ORDERS", "STATUS")]; ok {
+		t.Fatalf("STATUS should have no target, got %q", got)
+	}
+	// Primary keys get no entry either.
+	if got, ok := targets[AttributeID("shop", "ORDERS", "ORDER_ID")]; ok {
+		t.Fatalf("ORDERS.ORDER_ID is a PK, got target %q", got)
+	}
+}
+
+func TestFKTargetsDeterministic(t *testing.T) {
+	s, err := ParseDDL("shop", fkDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := FKTargets(s), FKTargets(s)
+	if len(a) != len(b) {
+		t.Fatalf("sizes diverged: %d vs %d", len(a), len(b))
+	}
+	for id, target := range a {
+		if b[id] != target {
+			t.Fatalf("target for %s diverged: %q vs %q", id, target, b[id])
+		}
+	}
+}
+
+func TestFKTargetsNoOverlapNoEntry(t *testing.T) {
+	s, err := ParseDDL("x", `
+CREATE TABLE ALPHA (A_ID INT PRIMARY KEY);
+CREATE TABLE BETA (ZED_REF INT REFERENCES ALPHA(A_ID));
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ZED_REF shares no tokens with ALPHA's name: the reconstruction
+	// declines rather than guessing.
+	if got, ok := FKTargets(s)[AttributeID("x", "BETA", "ZED_REF")]; ok {
+		t.Fatalf("ZED_REF should resolve nowhere, got %q", got)
+	}
+}

@@ -3,6 +3,8 @@ package schema
 import (
 	"fmt"
 	"sort"
+
+	"collabscope/internal/token"
 )
 
 // LinkageType classifies an annotated linkage per Section 2.1.
@@ -199,6 +201,69 @@ func UnlinkableOverhead(labels map[ElementID]bool) float64 {
 		return 0
 	}
 	return float64(unlinkable) / float64(linkable)
+}
+
+// FKTargets reconstructs intra-schema foreign-key reference targets:
+// attribute element ID → name of the table the FK points at. The DDL
+// parser deliberately drops REFERENCES targets from the metadata model
+// (§2.3 keeps only the constraint marker), so targets are re-derived
+// deterministically from structure alone: a FOREIGN KEY attribute points
+// at the table — other than its own — whose name tokens best overlap the
+// attribute's name tokens, plural-insensitively (CUSTOMER_ID → CUSTOMERS).
+// Ties keep the earliest table in declaration order; zero overlap yields
+// no target. Only schema structure is consulted, never GroundTruth — the
+// enrichment stage built on this must stay label-free.
+func FKTargets(s *Schema) map[ElementID]string {
+	type tableTokens struct {
+		name   string
+		tokens map[string]bool
+	}
+	tables := make([]tableTokens, 0, len(s.Tables))
+	for _, t := range s.Tables {
+		toks := map[string]bool{}
+		for _, tok := range token.Normalize(t.Name) {
+			toks[singular(tok)] = true
+		}
+		tables = append(tables, tableTokens{name: t.Name, tokens: toks})
+	}
+	out := map[ElementID]string{}
+	for _, t := range s.Tables {
+		for _, a := range t.Attributes {
+			if a.Constraint != ForeignKey {
+				continue
+			}
+			best, bestScore := "", 0
+			for _, cand := range tables {
+				if cand.name == t.Name {
+					continue
+				}
+				score := 0
+				for _, tok := range token.Normalize(a.Name) {
+					if cand.tokens[singular(tok)] {
+						score++
+					}
+				}
+				if score > bestScore {
+					best, bestScore = cand.name, score
+				}
+			}
+			if best != "" {
+				out[AttributeID(s.Name, t.Name, a.Name)] = best
+			}
+		}
+	}
+	return out
+}
+
+// singular strips a trailing plural-s so CUSTOMERS and CUSTOMER compare
+// equal. Tokens of ≤ 3 bytes and double-s endings pass through unchanged;
+// the rule is applied to both comparison sides, so it only needs to be
+// consistent, not linguistically perfect.
+func singular(tok string) string {
+	if len(tok) > 3 && tok[len(tok)-1] == 's' && tok[len(tok)-2] != 's' {
+		return tok[:len(tok)-1]
+	}
+	return tok
 }
 
 // CartesianTables returns Σ over schema pairs of |tables_k|·|tables_m|.

@@ -1,0 +1,85 @@
+package token
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEnrichExpandsAbbreviations(t *testing.T) {
+	got := Enrich([]string{"acct", "bal"})
+	want := map[string]bool{"account": true, "balance": true}
+	for _, tok := range got {
+		delete(want, tok)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Enrich(acct, bal) = %v, missing %v", got, want)
+	}
+}
+
+func TestEnrichAddsSynonymGroupMembers(t *testing.T) {
+	got := Enrich([]string{"client"})
+	found := false
+	for _, tok := range got {
+		if tok == "customer" {
+			found = true
+		}
+		if tok == "client" {
+			t.Fatal("Enrich echoed an input token")
+		}
+	}
+	if !found {
+		t.Fatalf("Enrich(client) = %v, want it to include customer", got)
+	}
+}
+
+func TestEnrichIsDeterministicAndDeduplicated(t *testing.T) {
+	in := []string{"acct", "client", "acct"}
+	a := Enrich(in)
+	b := Enrich(in)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Enrich not deterministic: %v vs %v", a, b)
+	}
+	seen := map[string]bool{}
+	for _, tok := range a {
+		if seen[tok] {
+			t.Fatalf("Enrich duplicated %q in %v", tok, a)
+		}
+		seen[tok] = true
+	}
+}
+
+func TestEnrichUnknownTokens(t *testing.T) {
+	if got := Enrich([]string{"zzyzx", "qwerty"}); len(got) != 0 {
+		t.Fatalf("Enrich of unknown tokens = %v, want empty", got)
+	}
+}
+
+func TestSynonymGroup(t *testing.T) {
+	group := SynonymGroup("client")
+	if len(group) == 0 {
+		t.Fatal("client should belong to a synonym group")
+	}
+	hasCustomer := false
+	for _, m := range group {
+		if m == "customer" {
+			hasCustomer = true
+		}
+	}
+	if !hasCustomer {
+		t.Fatalf("SynonymGroup(client) = %v, want it to include customer", group)
+	}
+	if SynonymGroup("zzyzx") != nil {
+		t.Fatal("unknown token should have no group")
+	}
+}
+
+// TestBaseLexiconUntouched pins the isolation guarantee: the enrichment
+// lexicon must not leak into the base normalisation path, or every golden
+// signature in the repo would shift.
+func TestBaseLexiconUntouched(t *testing.T) {
+	for _, tok := range Normalize("ACCT_BAL") {
+		if tok == "account" || tok == "balance" {
+			t.Fatalf("base Normalize expanded enrichment-only abbreviation: %v", Normalize("ACCT_BAL"))
+		}
+	}
+}

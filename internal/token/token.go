@@ -8,6 +8,7 @@
 package token
 
 import (
+	"sort"
 	"strings"
 	"unicode"
 )
@@ -127,6 +128,94 @@ func Concepts(tokens []string) []string {
 	out := make([]string, len(tokens))
 	for i, t := range tokens {
 		out[i] = Concept(t)
+	}
+	return out
+}
+
+// Enrichment lexicon (DESIGN.md §16). The maps below extend the base
+// abbreviation/synonym tables for the OPT-IN enrichment stage
+// (internal/enrich) only: the base encoder keeps consulting
+// `abbreviations` and `synonyms` unchanged, so every signature, golden
+// matcher output, and claim-level pin built on the base lexicon stays
+// bit-identical unless a caller explicitly enables enrichers.
+
+// enrichmentAbbreviations extends `abbreviations` with shorthand common in
+// production schemas but absent from the paper's datasets.
+var enrichmentAbbreviations = map[string][]string{
+	"acct": {"account"},
+	"avg":  {"average"},
+	"bal":  {"balance"},
+	"cat":  {"category"},
+	"curr": {"currency"},
+	"dst":  {"destination"},
+	"grp":  {"group"},
+	"inv":  {"invoice"},
+	"max":  {"maximum"},
+	"mgr":  {"manager"},
+	"min":  {"minimum"},
+	"org":  {"organisation"},
+	"pct":  {"percent"},
+	"pmt":  {"payment"},
+	"pwd":  {"password"},
+	"ref":  {"reference"},
+	"seq":  {"sequence"},
+	"sku":  {"stock", "keeping", "unit"},
+	"src":  {"source"},
+	"ssn":  {"social", "security", "number"},
+	"upc":  {"universal", "product", "code"},
+	"usr":  {"user"},
+	"vat":  {"value", "added", "tax"},
+}
+
+// synonymGroups is the inverted index of `synonyms`: concept head → sorted
+// group members. Built once at init.
+var synonymGroups = func() map[string][]string {
+	groups := map[string][]string{}
+	for tok, head := range synonyms {
+		groups[head] = append(groups[head], tok)
+	}
+	for head := range groups {
+		sort.Strings(groups[head])
+	}
+	return groups
+}()
+
+// SynonymGroup returns the sorted members of the token's curated synonym
+// group (including the token itself), or nil when the token belongs to no
+// group.
+func SynonymGroup(tok string) []string {
+	head, ok := synonyms[tok]
+	if !ok {
+		return nil
+	}
+	return synonymGroups[head]
+}
+
+// Enrich returns the deterministic expansion set of a token sequence for
+// the enrichment stage: enrichment-lexicon abbreviation expansions plus
+// every member of each token's synonym group, in first-derivation order,
+// deduplicated, and excluding tokens already present in the input. The
+// result is what the lexicon enricher appends to an element's
+// serialisation before encoding.
+func Enrich(tokens []string) []string {
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		seen[t] = true
+	}
+	var out []string
+	add := func(t string) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range tokens {
+		for _, exp := range enrichmentAbbreviations[t] {
+			add(exp)
+		}
+		for _, member := range SynonymGroup(t) {
+			add(member)
+		}
 	}
 	return out
 }
